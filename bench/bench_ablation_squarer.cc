@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces the squarer-specialization ablation of Section VII-B.
+ *
+ * The disjoint design gives the synthesizer private stage-3 multipliers
+ * whose two inputs come from the same wire, letting it specialize them
+ * into squarers (16 of 16 for Euclidean, 8 of 16 for cosine). This
+ * bench sweeps the three wiring variants the paper discusses:
+ *
+ *   unified    - multipliers shared with ray-box: no specialization
+ *   disjoint   - private multipliers: squarers save ~9% (Euclidean) /
+ *                ~3% (cosine) power
+ *   perturbed  - disjoint, but stage-3 wiring deliberately perturbed so
+ *                no multiplier sees tied inputs: the saving disappears
+ *                and Euclidean power lands ~1.9% *above* unified
+ */
+#include <cstdio>
+
+#include "core/datapath.hh"
+#include "core/workloads.hh"
+#include "synth/power.hh"
+
+using namespace rayflex::core;
+using namespace rayflex::synth;
+
+namespace
+{
+
+double
+measure(const DatapathConfig &cfg, Opcode op)
+{
+    RayFlexDatapath dp(cfg);
+    WorkloadGen gen(0xAB1u ^ unsigned(op));
+    runBatch(dp, gen.batch(op, 100));
+    ActivityTrace trace = dp.activity();
+    trace.cycles = trace.totalBeats();
+    return PowerModel().estimate(Netlist::build(cfg), trace, 1.0).total() *
+           1e3;
+}
+
+} // namespace
+
+int
+main()
+{
+    DatapathConfig perturbed = kExtendedDisjoint;
+    perturbed.perturb_squarers = true;
+
+    printf("=== Ablation: squarer specialization (Section VII-B) ===\n\n");
+    printf("%-24s %12s %12s %16s\n", "config", "euclidean", "cosine",
+           "stage-3 squarers");
+    struct Row
+    {
+        const char *name;
+        DatapathConfig cfg;
+    } rows[] = {
+        {"extended-unified", kExtendedUnified},
+        {"extended-disjoint", kExtendedDisjoint},
+        {"extended-perturbed", perturbed},
+    };
+    double euc[3], cos[3];
+    for (int i = 0; i < 3; ++i) {
+        euc[i] = measure(rows[i].cfg, Opcode::Euclidean);
+        cos[i] = measure(rows[i].cfg, Opcode::Cosine);
+        unsigned sq = Netlist::build(rows[i].cfg).totalFus().squarers;
+        printf("%-24s %10.1fmW %10.1fmW %16u\n", rows[i].name, euc[i],
+               cos[i], sq);
+    }
+
+    printf("\n%-52s %8s %9s\n", "comparison", "paper", "measured");
+    printf("%-52s %7s%% %+8.1f%%\n", "euclidean: disjoint vs unified",
+           "-9", (euc[1] / euc[0] - 1) * 100);
+    printf("%-52s %7s%% %+8.1f%%\n", "cosine: disjoint vs unified", "-3",
+           (cos[1] / cos[0] - 1) * 100);
+    printf("%-52s %7s%% %+8.1f%%\n",
+           "euclidean: perturbed-disjoint vs unified", "+1.9",
+           (euc[2] / euc[0] - 1) * 100);
+    printf("\nConclusion: the power saving is attributable to the "
+           "squarer specialization;\nperturbing the stage-3 wiring "
+           "removes it (Section VII-B).\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Design-space exploration: the researcher-facing workflow the paper
+ * positions RayFlex for (Section I). Sweeps the full configuration
+ * space - functionality x FU sharing x clock target - and prints
+ * area/power/throughput Pareto data for a user-supplied operation mix,
+ * plus the per-stage hardware inventory of a chosen configuration.
+ *
+ * Usage: design_space [box%] [tri%] [euclid%] [cosine%]
+ *   (operation mix in percent, default 60 30 7 3)
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/datapath.hh"
+#include "core/workloads.hh"
+#include "synth/area.hh"
+#include "synth/power.hh"
+
+using namespace rayflex::core;
+using namespace rayflex::synth;
+
+int
+main(int argc, char **argv)
+{
+    double mix[4] = {60, 30, 7, 3};
+    for (int i = 0; i < 4 && i + 1 < argc; ++i)
+        mix[i] = atof(argv[i + 1]);
+    double total = mix[0] + mix[1] + mix[2] + mix[3];
+    for (double &m : mix)
+        m /= total;
+
+    printf("RayFlex design-space exploration\n");
+    printf("================================\n");
+    printf("operation mix: %.0f%% box, %.0f%% tri, %.0f%% euclidean, "
+           "%.0f%% cosine\n\n",
+           mix[0] * 100, mix[1] * 100, mix[2] * 100, mix[3] * 100);
+
+    const bool needs_extended = mix[2] > 0 || mix[3] > 0;
+    AreaModel am;
+    PowerModel pm;
+
+    printf("%-20s %6s %11s %10s %11s %13s\n", "config", "MHz",
+           "area(um^2)", "power(mW)", "Gops/s", "Gops/s/mm^2");
+    for (const auto &cfg : {kBaselineUnified, kBaselineDisjoint,
+                            kExtendedUnified, kExtendedDisjoint}) {
+        if (needs_extended && !cfg.extended)
+            continue;
+        Netlist n = Netlist::build(cfg);
+        for (double mhz : {500.0, 1000.0, 1500.0}) {
+            double ghz = mhz / 1000.0;
+            AreaReport a = am.estimate(n, ghz);
+
+            // Weighted power for the mix at full throughput.
+            ActivityTrace trace;
+            trace.cycles = 1000;
+            for (int o = 0; o < 4; ++o)
+                trace.beats[size_t(o)] =
+                    uint64_t(mix[o] * 1000.0 + 0.5);
+            double watts = pm.estimate(n, trace, ghz).total();
+
+            // Useful arithmetic ops per second for this mix: per-beat
+            // FU activations times clock.
+            double ops_per_beat = 0;
+            for (int o = 0; o < 4; ++o) {
+                FuCounts u = n.usedBy(static_cast<Opcode>(o));
+                ops_per_beat += mix[o] *
+                                (u.adders + u.multipliers + u.squarers +
+                                 u.comparators + u.sort_cmps);
+            }
+            double gops = ops_per_beat * ghz;
+            printf("%-20s %6.0f %11.0f %10.1f %11.1f %13.1f\n",
+                   cfg.name().c_str(), mhz, a.total(), watts * 1e3, gops,
+                   gops / (a.total() * 1e-6));
+        }
+    }
+
+    // Per-stage inventory for the richest configuration.
+    printf("\nPer-stage inventory, extended-disjoint "
+           "(Fig. 4c + Fig. 6c):\n");
+    printf("%-7s %7s %7s %9s %6s %6s %6s %10s\n", "stage", "adders",
+           "mults", "squarers", "cmps", "sort", "conv", "reg bits");
+    Netlist n = Netlist::build(kExtendedDisjoint);
+    for (unsigned s = 0; s < kNumStages; ++s) {
+        const auto &st = n.stages[s];
+        printf("%-7u %7u %7u %9u %6u %6u %6u %10u\n", s + 1,
+               st.provisioned.adders, st.provisioned.multipliers,
+               st.provisioned.squarers, st.provisioned.comparators,
+               st.provisioned.sort_cmps, st.provisioned.converters,
+               st.reg_bits * Netlist::kSkidDepth + st.state_bits);
+    }
+    printf("\ntotal sequential bits: %llu (skid buffers register every "
+           "payload twice)\n",
+           (unsigned long long)n.totalSequentialBits());
+    return 0;
+}

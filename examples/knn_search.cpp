@@ -1,0 +1,242 @@
+/**
+ * @file
+ * k-nearest-neighbor search on the extended RT-unit datapath.
+ *
+ * The data-analytics workload that motivates the paper's Section V-A
+ * case study: instead of reformulating nearest-neighbor search as ray
+ * tracing (the RTNN / Arkade line of work), the *extended* datapath
+ * computes exact Euclidean and cosine distances of arbitrary dimension
+ * directly, streaming candidate vectors through the pipeline in
+ * 16-wide (Euclidean) or 8-wide (cosine) beats with multi-beat
+ * accumulation.
+ *
+ * This example runs k-NN queries over a Gaussian-mixture point cloud
+ * with both metrics, verifies the results against a double-precision
+ * scan, and reports beats/candidate and query throughput.
+ *
+ * Usage: knn_search [n_points] [dims] [k] [n_queries]
+ */
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <queue>
+#include <vector>
+
+#include "bvh/scene.hh"
+#include "core/datapath.hh"
+#include "pipeline/drivers.hh"
+
+using namespace rayflex::core;
+using rayflex::bvh::DataPoint;
+using rayflex::fp::fromBits;
+using rayflex::fp::toBits;
+
+namespace
+{
+
+/** Beats of one Euclidean job (query vs candidate). */
+void
+pushEuclideanJob(rayflex::pipeline::Source<DatapathInput> &src,
+                 const std::vector<float> &q, const std::vector<float> &c,
+                 uint64_t tag)
+{
+    for (size_t base = 0; base < q.size(); base += kEuclideanWidth) {
+        DatapathInput in;
+        in.op = Opcode::Euclidean;
+        in.tag = tag;
+        uint16_t mask = 0;
+        for (size_t i = 0; i < kEuclideanWidth && base + i < q.size();
+             ++i) {
+            in.vec_a[i] = toBits(q[base + i]);
+            in.vec_b[i] = toBits(c[base + i]);
+            mask |= uint16_t(1u << i);
+        }
+        in.mask = mask;
+        in.reset_accumulator = base + kEuclideanWidth >= q.size();
+        src.push(in);
+    }
+}
+
+/** Beats of one cosine job (8 dims per beat). */
+void
+pushCosineJob(rayflex::pipeline::Source<DatapathInput> &src,
+              const std::vector<float> &q, const std::vector<float> &c,
+              uint64_t tag)
+{
+    for (size_t base = 0; base < q.size(); base += kCosineWidth) {
+        DatapathInput in;
+        in.op = Opcode::Cosine;
+        in.tag = tag;
+        uint16_t mask = 0;
+        for (size_t i = 0; i < kCosineWidth && base + i < q.size(); ++i) {
+            in.vec_a[i] = toBits(q[base + i]);
+            in.vec_b[i] = toBits(c[base + i]);
+            mask |= uint16_t(1u << i);
+        }
+        in.mask = mask;
+        in.reset_accumulator = base + kCosineWidth >= q.size();
+        src.push(in);
+    }
+}
+
+/** Keep the k smallest (score, id) pairs. */
+struct TopK
+{
+    size_t k;
+    std::priority_queue<std::pair<double, uint32_t>> heap;
+
+    void
+    offer(double score, uint32_t id)
+    {
+        if (heap.size() < k) {
+            heap.emplace(score, id);
+        } else if (score < heap.top().first) {
+            heap.pop();
+            heap.emplace(score, id);
+        }
+    }
+
+    std::vector<uint32_t>
+    ids()
+    {
+        std::vector<std::pair<double, uint32_t>> v;
+        while (!heap.empty()) {
+            v.push_back(heap.top());
+            heap.pop();
+        }
+        std::sort(v.begin(), v.end());
+        std::vector<uint32_t> out;
+        for (auto &p : v)
+            out.push_back(p.second);
+        return out;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const size_t n_points = argc > 1 ? size_t(atoll(argv[1])) : 2000;
+    const unsigned dims = argc > 2 ? unsigned(atoi(argv[2])) : 48;
+    const size_t k = argc > 3 ? size_t(atoll(argv[3])) : 5;
+    const size_t n_queries = argc > 4 ? size_t(atoll(argv[4])) : 8;
+
+    printf("k-NN on the extended RayFlex datapath\n");
+    printf("=====================================\n");
+    printf("%zu points, %u dimensions, k=%zu, %zu queries\n\n", n_points,
+           dims, k, n_queries);
+
+    auto cloud = rayflex::bvh::makePointCloud(n_points, dims, 12, 42);
+    auto queries = rayflex::bvh::makePointCloud(n_queries, dims, 12, 43);
+
+    // One pipelined extended datapath instance serves all queries.
+    RayFlexDatapath dp(kExtendedUnified);
+    rayflex::pipeline::Simulator sim;
+    rayflex::pipeline::Source<DatapathInput> src("src", &dp.in());
+    rayflex::pipeline::Sink<DatapathOutput> sink("sink", &dp.out());
+    dp.registerWith(sim);
+    sim.add(&src);
+    sim.add(&sink);
+
+    // ---- Euclidean k-NN ----
+    size_t euclid_matches = 0;
+    uint64_t euclid_cycles = 0;
+    for (size_t qi = 0; qi < n_queries; ++qi) {
+        const auto &q = queries[qi].coords;
+        size_t before = sink.count();
+        uint64_t c0 = sim.cycle();
+        for (const auto &p : cloud)
+            pushEuclideanJob(src, q, p.coords, p.id);
+        size_t jobs_expected = cloud.size();
+        size_t beats_per_job = (dims + kEuclideanWidth - 1) /
+                               kEuclideanWidth;
+        size_t expect = before + jobs_expected * beats_per_job;
+        while (sink.count() < expect)
+            sim.tick();
+        euclid_cycles += sim.cycle() - c0;
+
+        TopK top{k, {}};
+        for (size_t i = before; i < sink.count(); ++i) {
+            const DatapathOutput &out = sink.received()[i];
+            if (!out.euclidean_reset)
+                continue;
+            top.offer(double(fromBits(out.euclidean_accumulator)),
+                      uint32_t(out.tag));
+        }
+        auto hw_ids = top.ids();
+
+        // Double-precision reference.
+        TopK ref{k, {}};
+        for (const auto &p : cloud) {
+            double s = 0;
+            for (unsigned d = 0; d < dims; ++d) {
+                double diff = double(q[d]) - double(p.coords[d]);
+                s += diff * diff;
+            }
+            ref.offer(s, p.id);
+        }
+        auto ref_ids = ref.ids();
+        if (hw_ids == ref_ids)
+            ++euclid_matches;
+    }
+    printf("Euclidean k-NN: %zu/%zu queries match the double-precision "
+           "reference exactly\n",
+           euclid_matches, n_queries);
+    printf("  %.0f cycles/query (%zu candidates x %zu beats); at 1 GHz: "
+           "%.1f kqueries/s\n\n",
+           double(euclid_cycles) / double(n_queries), n_points,
+           (dims + kEuclideanWidth - 1) / kEuclideanWidth,
+           1e9 / (double(euclid_cycles) / double(n_queries)) / 1e3);
+
+    // ---- Cosine k-NN ----
+    // Candidate with the smallest angular distance: maximize
+    // dot / (|q| |c|); the datapath supplies dot and |c|^2, the query
+    // norm is a per-query constant computed on the GPU core.
+    size_t cos_matches = 0;
+    for (size_t qi = 0; qi < n_queries; ++qi) {
+        const auto &q = queries[qi].coords;
+        size_t before = sink.count();
+        for (const auto &p : cloud)
+            pushCosineJob(src, q, p.coords, p.id);
+        size_t beats_per_job = (dims + kCosineWidth - 1) / kCosineWidth;
+        size_t expect = before + cloud.size() * beats_per_job;
+        while (sink.count() < expect)
+            sim.tick();
+
+        TopK top{k, {}};
+        for (size_t i = before; i < sink.count(); ++i) {
+            const DatapathOutput &out = sink.received()[i];
+            if (!out.angular_reset)
+                continue;
+            double dot = double(fromBits(out.angular_dot_product));
+            double norm = double(fromBits(out.angular_norm));
+            // Angular distance score: 1 - cos similarity (query norm
+            // cancels in the ranking as a positive constant).
+            double score = norm > 0 ? 1.0 - dot / std::sqrt(norm) : 2.0;
+            top.offer(score, uint32_t(out.tag));
+        }
+        auto hw_ids = top.ids();
+
+        TopK ref{k, {}};
+        for (const auto &p : cloud) {
+            double dot = 0, norm = 0;
+            for (unsigned d = 0; d < dims; ++d) {
+                dot += double(q[d]) * double(p.coords[d]);
+                norm += double(p.coords[d]) * double(p.coords[d]);
+            }
+            double score = norm > 0 ? 1.0 - dot / std::sqrt(norm) : 2.0;
+            ref.offer(score, p.id);
+        }
+        if (hw_ids == ref.ids())
+            ++cos_matches;
+    }
+    printf("Cosine k-NN: %zu/%zu queries match the double-precision "
+           "reference exactly\n",
+           cos_matches, n_queries);
+
+    printf("\nNote: single-precision ties can legitimately reorder "
+           "near-equal neighbours;\nlarge clouds may show occasional "
+           "rank swaps against the double reference.\n");
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * IO-type conversions for the BVH substrate.
+ */
+#include "bvh/aabb.hh"
+
+namespace rayflex::bvh
+{
+
+using fp::toBits;
+
+core::Box
+Aabb::toIoBox() const
+{
+    core::Box b;
+    b.lo = {toBits(lo.x), toBits(lo.y), toBits(lo.z)};
+    b.hi = {toBits(hi.x), toBits(hi.y), toBits(hi.z)};
+    return b;
+}
+
+core::Triangle
+SceneTriangle::toIoTriangle() const
+{
+    core::Triangle t;
+    t.v[0] = {toBits(v0.x), toBits(v0.y), toBits(v0.z)};
+    t.v[1] = {toBits(v1.x), toBits(v1.y), toBits(v1.z)};
+    t.v[2] = {toBits(v2.x), toBits(v2.y), toBits(v2.z)};
+    return t;
+}
+
+} // namespace rayflex::bvh

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Vector math and axis-aligned bounding boxes for the BVH substrate.
+ *
+ * This is the "GPU core side" of the system: plain host-float geometry
+ * used to build acceleration structures and generate rays. The datapath
+ * side consumes these through the IO types in core/io_spec.hh.
+ */
+#ifndef RAYFLEX_BVH_AABB_HH
+#define RAYFLEX_BVH_AABB_HH
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "core/io_spec.hh"
+
+namespace rayflex::bvh
+{
+
+/** A 3-component float vector. */
+struct Vec3
+{
+    float x = 0, y = 0, z = 0;
+
+    float
+    operator[](int i) const
+    {
+        return i == 0 ? x : i == 1 ? y : z;
+    }
+
+    friend Vec3 operator+(Vec3 a, Vec3 b)
+    {
+        return {a.x + b.x, a.y + b.y, a.z + b.z};
+    }
+    friend Vec3 operator-(Vec3 a, Vec3 b)
+    {
+        return {a.x - b.x, a.y - b.y, a.z - b.z};
+    }
+    friend Vec3 operator*(Vec3 a, float s)
+    {
+        return {a.x * s, a.y * s, a.z * s};
+    }
+    friend Vec3 operator*(float s, Vec3 a) { return a * s; }
+};
+
+/** Dot product. */
+inline float dot(Vec3 a, Vec3 b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/** Cross product. */
+inline Vec3
+cross(Vec3 a, Vec3 b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+/** Euclidean length. */
+inline float length(Vec3 a) { return std::sqrt(dot(a, a)); }
+
+/** Unit vector in the direction of a (a must be nonzero). */
+inline Vec3 normalize(Vec3 a) { return a * (1.0f / length(a)); }
+
+/** Component-wise min. */
+inline Vec3
+vmin(Vec3 a, Vec3 b)
+{
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
+/** Component-wise max. */
+inline Vec3
+vmax(Vec3 a, Vec3 b)
+{
+    return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+/** An axis-aligned bounding box. */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::infinity(),
+            std::numeric_limits<float>::infinity(),
+            std::numeric_limits<float>::infinity()};
+    Vec3 hi{-std::numeric_limits<float>::infinity(),
+            -std::numeric_limits<float>::infinity(),
+            -std::numeric_limits<float>::infinity()};
+
+    /** Grow to contain a point. */
+    void
+    grow(Vec3 p)
+    {
+        lo = vmin(lo, p);
+        hi = vmax(hi, p);
+    }
+
+    /** Grow to contain another box. */
+    void
+    grow(const Aabb &b)
+    {
+        lo = vmin(lo, b.lo);
+        hi = vmax(hi, b.hi);
+    }
+
+    /** True when at least one point has been added. */
+    bool valid() const { return lo.x <= hi.x; }
+
+    /** Box centre. */
+    Vec3 centre() const { return (lo + hi) * 0.5f; }
+
+    /** Surface area (for SAH). */
+    float
+    surfaceArea() const
+    {
+        if (!valid())
+            return 0.0f;
+        Vec3 d = hi - lo;
+        return 2.0f * (d.x * d.y + d.y * d.z + d.z * d.x);
+    }
+
+    /** Convert to the datapath IO box type. */
+    core::Box toIoBox() const;
+};
+
+/** A scene triangle with its id. */
+struct SceneTriangle
+{
+    Vec3 v0, v1, v2;
+    uint32_t id = 0;
+
+    /** Bounding box of the triangle. */
+    Aabb
+    bounds() const
+    {
+        Aabb b;
+        b.grow(v0);
+        b.grow(v1);
+        b.grow(v2);
+        return b;
+    }
+
+    /** Centroid. */
+    Vec3 centroid() const { return (v0 + v1 + v2) * (1.0f / 3.0f); }
+
+    /** Convert to the datapath IO triangle type. */
+    core::Triangle toIoTriangle() const;
+};
+
+} // namespace rayflex::bvh
+
+#endif // RAYFLEX_BVH_AABB_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Cycle-level RT-unit implementation.
+ *
+ * Per cycle the unit (a) drives at most one beat into the datapath from
+ * a ready ray, (b) drains one datapath result, (c) retires memory
+ * responses and issues new node fetches, and (d) refills free ray-buffer
+ * slots from the submission queue. All interactions with the datapath go
+ * through the ordinary valid-ready handshake, so the unit observes real
+ * pipeline back-pressure.
+ */
+#include "bvh/rt_unit.hh"
+
+#include <stdexcept>
+
+namespace rayflex::bvh
+{
+
+using namespace rayflex::core;
+using fp::fromBits;
+
+RtUnit::RtUnit(const Bvh4 &bvh, core::RayFlexDatapath &dp,
+               const RtUnitConfig &cfg)
+    : pipeline::Component("rt-unit"), bvh_(bvh), dp_(dp), cfg_(cfg),
+      entries_(cfg.ray_buffer_entries)
+{}
+
+void
+RtUnit::submit(const core::Ray &ray, uint32_t ray_id)
+{
+    pending_rays_.emplace_back(ray, ray_id);
+    if (results_.size() <= ray_id)
+        results_.resize(ray_id + 1);
+    ++outstanding_;
+}
+
+void
+RtUnit::popWork(Entry &e)
+{
+    // Pop past work items pruned by the current best hit.
+    while (!e.stack.empty()) {
+        WorkItem w = e.stack.back();
+        e.stack.pop_back();
+        if (e.best.hit && w.entry_t > e.best.t)
+            continue;
+        if (w.is_leaf) {
+            e.leaf_first = w.index;
+            e.leaf_count = w.count;
+            e.leaf_next = w.index;
+        } else {
+            e.node = w.index;
+        }
+        // Both node and leaf data come from memory.
+        e.state = EntryState::NeedFetch;
+        // Remember what kind of data the fetch returns.
+        e.leaf_count = w.is_leaf ? w.count : 0;
+        return;
+    }
+    // Traversal complete.
+    results_[e.ray_id] = e.best;
+    e.state = EntryState::Idle;
+    e.stack.clear();
+    --outstanding_;
+    ++stats_.rays_completed;
+}
+
+void
+RtUnit::publish(uint64_t)
+{
+    // Always willing to drain results.
+    dp_.out().ready = true;
+
+    // Offer one beat from the first ready entry (round-robin would be
+    // fairer; first-ready is sufficient for utilization studies).
+    drove_input_ = false;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
+        if (e.state == EntryState::ReadyBox) {
+            DatapathInput in;
+            in.op = Opcode::RayBox;
+            in.ray = e.ray;
+            in.tag = i;
+            const WideNode &node = bvh_.nodes[e.node];
+            for (int c = 0; c < 4; ++c) {
+                in.boxes[c] =
+                    node.child[c].kind == WideNode::Kind::Empty
+                        ? emptySlotBox()
+                        : node.child[c].bounds.toIoBox();
+            }
+            dp_.in().valid = true;
+            dp_.in().bits = in;
+            drove_input_ = true;
+            issue_entry_ = i;
+            return;
+        }
+        if (e.state == EntryState::ReadyTri) {
+            DatapathInput in;
+            in.op = Opcode::RayTriangle;
+            in.ray = e.ray;
+            in.tag = i;
+            in.tri = bvh_.tris[e.leaf_next].toIoTriangle();
+            dp_.in().valid = true;
+            dp_.in().bits = in;
+            drove_input_ = true;
+            issue_entry_ = i;
+            return;
+        }
+    }
+    dp_.in().valid = false;
+}
+
+void
+RtUnit::handleResult(const core::DatapathOutput &out)
+{
+    Entry &e = entries_[out.tag];
+    if (out.op == Opcode::RayBox) {
+        const WideNode &node = bvh_.nodes[e.node];
+        // Push hit children farthest-first so the nearest pops first.
+        for (int i = 3; i >= 0; --i) {
+            uint8_t slot = out.box.order[i];
+            if (!out.box.hit[slot])
+                continue;
+            const auto &c = node.child[slot];
+            WorkItem w;
+            w.entry_t = fromBits(out.box.sorted_dist[i]);
+            if (c.kind == WideNode::Kind::Internal) {
+                w.is_leaf = false;
+                w.index = c.index;
+            } else {
+                w.is_leaf = true;
+                w.index = c.index;
+                w.count = c.count;
+            }
+            e.stack.push_back(w);
+        }
+        popWork(e);
+    } else {
+        // Triangle result for e.leaf_next - 1 was issued; actually the
+        // in-flight triangle index is tracked in e.leaf_next at issue
+        // time and advanced on acceptance, so the result corresponds to
+        // inflight_tri_.
+        const SceneTriangle &tri = bvh_.tris[e.inflight_tri];
+        if (out.tri.hit) {
+            float den = fromBits(out.tri.t_den);
+            if (den != 0.0f) {
+                float t = fromBits(out.tri.t_num) / den;
+                if (t <= e.t_max && (!e.best.hit || t < e.best.t)) {
+                    e.best.hit = true;
+                    e.best.t = t;
+                    e.best.triangle_id = tri.id;
+                    float u = fromBits(out.tri.uvw[0]);
+                    float v = fromBits(out.tri.uvw[1]);
+                    float w = fromBits(out.tri.uvw[2]);
+                    e.best.u = u / den;
+                    e.best.v = v / den;
+                    e.best.w = w / den;
+                }
+            }
+        }
+        if (e.leaf_next < e.leaf_first + e.leaf_count) {
+            e.state = EntryState::ReadyTri; // more triangles in leaf
+        } else {
+            popWork(e);
+        }
+    }
+}
+
+void
+RtUnit::advance(uint64_t cycle)
+{
+    now_ = cycle;
+    ++stats_.cycles;
+
+    // (a) Input handshake outcome.
+    if (drove_input_ && dp_.in().valid && dp_.in().ready) {
+        Entry &e = entries_[issue_entry_];
+        ++stats_.datapath_beats;
+        if (e.state == EntryState::ReadyBox) {
+            e.state = EntryState::InFlight;
+        } else {
+            e.inflight_tri = e.leaf_next;
+            ++e.leaf_next;
+            e.state = EntryState::InFlight;
+        }
+    } else {
+        ++stats_.datapath_idle;
+        bool waiting_mem = false;
+        for (const Entry &e : entries_) {
+            if (e.state == EntryState::Fetching ||
+                e.state == EntryState::NeedFetch) {
+                waiting_mem = true;
+                break;
+            }
+        }
+        if (waiting_mem)
+            ++stats_.stall_on_memory;
+    }
+
+    // (b) Output handshake outcome.
+    if (dp_.out().valid && dp_.out().ready)
+        handleResult(dp_.out().bits);
+
+    // (c) Memory: retire due responses, issue new fetches.
+    while (!mem_queue_.empty() && mem_queue_.front().done_cycle <= now_) {
+        Entry &e = entries_[mem_queue_.front().entry];
+        e.state = e.leaf_count > 0 ? EntryState::ReadyTri
+                                   : EntryState::ReadyBox;
+        mem_queue_.pop_front();
+    }
+    unsigned issued = 0;
+    for (size_t i = 0;
+         i < entries_.size() && issued < cfg_.mem_requests_per_cycle;
+         ++i) {
+        Entry &e = entries_[i];
+        if (e.state == EntryState::NeedFetch) {
+            mem_queue_.push_back({i, now_ + cfg_.mem_latency});
+            e.state = EntryState::Fetching;
+            ++stats_.mem_requests;
+            ++issued;
+        }
+    }
+
+    // (d) Refill free slots with queued rays.
+    for (size_t i = 0; i < entries_.size() && !pending_rays_.empty();
+         ++i) {
+        Entry &e = entries_[i];
+        if (e.state != EntryState::Idle)
+            continue;
+        auto [ray, id] = pending_rays_.front();
+        pending_rays_.pop_front();
+        e = Entry{};
+        e.ray = ray;
+        e.ray_id = id;
+        e.t_max = fromBits(ray.t_end);
+        if (bvh_.tris.empty()) {
+            results_[e.ray_id] = HitRecord{};
+            --outstanding_;
+            ++stats_.rays_completed;
+            continue;
+        }
+        e.stack.push_back({false, 0, 0, 0.0f});
+        popWork(e);
+    }
+}
+
+RtUnitStats
+RtUnit::run(uint64_t max_cycles)
+{
+    pipeline::Simulator sim;
+    dp_.registerWith(sim);
+    sim.add(this);
+    stats_ = {};
+    while (outstanding_ > 0 && stats_.cycles < max_cycles)
+        sim.tick();
+    if (outstanding_ > 0)
+        throw std::runtime_error("RtUnit::run: rays did not complete");
+    return stats_;
+}
+
+} // namespace rayflex::bvh

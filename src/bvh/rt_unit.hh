@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A cycle-level RT-unit wrapper around the RayFlex pipeline.
+ *
+ * The paper models only the intersection-test datapath (the highlighted
+ * box of Fig. 2) and defers warp management and memory scheduling to the
+ * enclosing RT unit (as modelled by Vulkan-Sim). This module provides a
+ * simplified version of that enclosing unit so the pipelined datapath
+ * can be exercised under realistic traversal traffic: a ray buffer holds
+ * in-flight rays with their traversal stacks, a fixed-latency node-fetch
+ * memory model supplies BVH data, and a round-robin scheduler feeds
+ * ready rays into the datapath one beat per cycle. This is the model
+ * used to measure datapath utilization and rays/cycle on real scenes.
+ */
+#ifndef RAYFLEX_BVH_RT_UNIT_HH
+#define RAYFLEX_BVH_RT_UNIT_HH
+
+#include <deque>
+#include <vector>
+
+#include "bvh/traversal.hh"
+#include "core/datapath.hh"
+#include "pipeline/component.hh"
+
+namespace rayflex::bvh
+{
+
+/** RT-unit configuration. */
+struct RtUnitConfig
+{
+    unsigned ray_buffer_entries = 32; ///< rays concurrently in flight
+    unsigned mem_latency = 20;        ///< node fetch latency, cycles
+    unsigned mem_requests_per_cycle = 1;
+};
+
+/** Per-run statistics. */
+struct RtUnitStats
+{
+    uint64_t cycles = 0;
+    uint64_t rays_completed = 0;
+    uint64_t datapath_beats = 0;   ///< beats issued into the pipeline
+    uint64_t datapath_idle = 0;    ///< cycles with no beat issued
+    uint64_t mem_requests = 0;
+    uint64_t stall_on_memory = 0;  ///< issue slots lost waiting on fetch
+
+    /** Fraction of cycles the datapath accepted a beat. */
+    double
+    utilization() const
+    {
+        return cycles ? double(datapath_beats) / double(cycles) : 0.0;
+    }
+};
+
+/**
+ * The RT unit: traverses a BVH for a batch of rays using a pipelined
+ * RayFlex datapath instance.
+ */
+class RtUnit : public pipeline::Component
+{
+  public:
+    RtUnit(const Bvh4 &bvh, core::RayFlexDatapath &dp,
+           const RtUnitConfig &cfg = {});
+
+    /** Queue a ray for traversal; results appear in results(). */
+    void submit(const core::Ray &ray, uint32_t ray_id);
+
+    /** Run the unit until all submitted rays complete.
+     *  @return statistics for the run. */
+    RtUnitStats run(uint64_t max_cycles = 100000000ull);
+
+    /** Closest-hit results in ray-id order (parallel to submissions). */
+    const std::vector<HitRecord> &results() const { return results_; }
+
+    void publish(uint64_t cycle) override;
+    void advance(uint64_t cycle) override;
+
+  private:
+    enum class EntryState : uint8_t {
+        Idle,        ///< slot free
+        NeedFetch,   ///< next node known, fetch not yet issued
+        Fetching,    ///< waiting on node memory
+        ReadyBox,    ///< node data present, box beat pending
+        ReadyTri,    ///< leaf data present, triangle beats pending
+        InFlight,    ///< beat inside the datapath
+    };
+
+    /** One deferred unit of traversal work for a ray. */
+    struct WorkItem
+    {
+        bool is_leaf = false;
+        uint32_t index = 0; ///< node index or first triangle
+        uint32_t count = 0; ///< triangle count when leaf
+        float entry_t = 0;  ///< child entry distance (for pruning)
+    };
+
+    struct Entry
+    {
+        EntryState state = EntryState::Idle;
+        core::Ray ray;
+        uint32_t ray_id = 0;
+        std::vector<WorkItem> stack; ///< pending work, nearest on top
+        uint32_t node = 0;           ///< node being processed
+        uint32_t leaf_first = 0, leaf_count = 0, leaf_next = 0;
+        uint32_t inflight_tri = 0;   ///< triangle of the in-flight beat
+        HitRecord best;
+        float t_max = 0;
+    };
+
+    struct MemRequest
+    {
+        size_t entry;
+        uint64_t done_cycle;
+    };
+
+    void popWork(Entry &e);
+    void handleResult(const core::DatapathOutput &out);
+
+    const Bvh4 &bvh_;
+    core::RayFlexDatapath &dp_;
+    RtUnitConfig cfg_;
+
+    std::vector<Entry> entries_;
+    std::deque<std::pair<core::Ray, uint32_t>> pending_rays_;
+    std::deque<MemRequest> mem_queue_;
+    std::vector<HitRecord> results_;
+    size_t outstanding_ = 0;
+    uint64_t now_ = 0;
+    RtUnitStats stats_;
+
+    bool drove_input_ = false;
+    size_t issue_entry_ = 0; ///< entry whose beat is offered this cycle
+};
+
+} // namespace rayflex::bvh
+
+#endif // RAYFLEX_BVH_RT_UNIT_HH

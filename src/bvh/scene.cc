@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Procedural scene generation implementation.
+ */
+#include "bvh/scene.hh"
+
+#include <cmath>
+#include <random>
+
+namespace rayflex::bvh
+{
+
+namespace
+{
+constexpr float kPi = 3.14159265358979323846f;
+} // namespace
+
+std::vector<SceneTriangle>
+makeSphere(Vec3 centre, float radius, unsigned rings, unsigned sectors,
+           uint32_t first_id)
+{
+    // Vertex grid over latitude (rings+1) x longitude (sectors).
+    auto vertex = [&](unsigned r, unsigned s) {
+        float lat = kPi * float(r) / float(rings);     // 0..pi
+        float lon = 2 * kPi * float(s) / float(sectors);
+        return centre + Vec3{radius * std::sin(lat) * std::cos(lon),
+                             radius * std::cos(lat),
+                             radius * std::sin(lat) * std::sin(lon)};
+    };
+    std::vector<SceneTriangle> tris;
+    uint32_t id = first_id;
+    for (unsigned r = 0; r < rings; ++r) {
+        for (unsigned s = 0; s < sectors; ++s) {
+            unsigned s1 = (s + 1) % sectors;
+            Vec3 a = vertex(r, s), b = vertex(r + 1, s);
+            Vec3 c = vertex(r + 1, s1), d = vertex(r, s1);
+            if (r != 0)
+                tris.push_back({a, d, b, id++}); // outward winding
+            if (r + 1 != rings)
+                tris.push_back({b, d, c, id++});
+        }
+    }
+    return tris;
+}
+
+std::vector<SceneTriangle>
+makeTorus(Vec3 centre, float major, float minor, unsigned rings,
+          unsigned sectors, uint32_t first_id)
+{
+    auto vertex = [&](unsigned r, unsigned s) {
+        float u = 2 * kPi * float(r) / float(rings);
+        float v = 2 * kPi * float(s) / float(sectors);
+        float w = major + minor * std::cos(v);
+        return centre + Vec3{w * std::cos(u), minor * std::sin(v),
+                             w * std::sin(u)};
+    };
+    std::vector<SceneTriangle> tris;
+    uint32_t id = first_id;
+    for (unsigned r = 0; r < rings; ++r) {
+        for (unsigned s = 0; s < sectors; ++s) {
+            unsigned r1 = (r + 1) % rings, s1 = (s + 1) % sectors;
+            Vec3 a = vertex(r, s), b = vertex(r1, s);
+            Vec3 c = vertex(r1, s1), d = vertex(r, s1);
+            tris.push_back({a, b, d, id++});
+            tris.push_back({b, c, d, id++});
+        }
+    }
+    return tris;
+}
+
+std::vector<SceneTriangle>
+makeTerrain(float size, unsigned grid, float roughness, uint64_t seed,
+            uint32_t first_id)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<float> jitter(-1.0f, 1.0f);
+
+    // Height field from summed octaves of value noise on the grid.
+    std::vector<float> h((grid + 1) * (grid + 1), 0.0f);
+    auto at = [&](unsigned x, unsigned y) -> float & {
+        return h[y * (grid + 1) + x];
+    };
+    float amp = roughness * size * 0.25f;
+    for (unsigned step = grid; step >= 1; step /= 2) {
+        for (unsigned y = 0; y <= grid; y += step)
+            for (unsigned x = 0; x <= grid; x += step)
+                at(x, y) += amp * jitter(rng);
+        amp *= 0.55f;
+        if (step == 1)
+            break;
+    }
+
+    std::vector<SceneTriangle> tris;
+    uint32_t id = first_id;
+    auto vtx = [&](unsigned x, unsigned y) {
+        float fx = size * (float(x) / float(grid) - 0.5f);
+        float fz = size * (float(y) / float(grid) - 0.5f);
+        return Vec3{fx, at(x, y), fz};
+    };
+    for (unsigned y = 0; y < grid; ++y) {
+        for (unsigned x = 0; x < grid; ++x) {
+            Vec3 a = vtx(x, y), b = vtx(x + 1, y);
+            Vec3 c = vtx(x + 1, y + 1), d = vtx(x, y + 1);
+            tris.push_back({a, c, b, id++}); // upward-facing winding
+            tris.push_back({a, d, c, id++});
+        }
+    }
+    return tris;
+}
+
+std::vector<SceneTriangle>
+makeSoup(size_t count, float extent, float max_edge, uint64_t seed,
+         uint32_t first_id)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<float> pos(-extent, extent);
+    std::uniform_real_distribution<float> edge(-max_edge, max_edge);
+    std::vector<SceneTriangle> tris;
+    tris.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        Vec3 a{pos(rng), pos(rng), pos(rng)};
+        Vec3 b = a + Vec3{edge(rng), edge(rng), edge(rng)};
+        Vec3 c = a + Vec3{edge(rng), edge(rng), edge(rng)};
+        tris.push_back({a, b, c, first_id + uint32_t(i)});
+    }
+    return tris;
+}
+
+core::Ray
+Camera::primaryRay(unsigned px, unsigned py, float t_max) const
+{
+    Vec3 fwd = normalize(look_at - eye);
+    Vec3 right = normalize(cross(fwd, up));
+    Vec3 v_up = cross(right, fwd);
+    float aspect = float(width) / float(height);
+    float half_h = std::tan(fov_deg * kPi / 360.0f);
+    float half_w = half_h * aspect;
+
+    float sx = (2.0f * (float(px) + 0.5f) / float(width) - 1.0f) * half_w;
+    float sy = (1.0f - 2.0f * (float(py) + 0.5f) / float(height)) * half_h;
+    Vec3 dir = normalize(fwd + right * sx + v_up * sy);
+    return core::makeRay(eye.x, eye.y, eye.z, dir.x, dir.y, dir.z, 0.0f,
+                         t_max);
+}
+
+std::vector<DataPoint>
+makePointCloud(size_t count, unsigned dims, unsigned clusters,
+               uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<float> centre_dist(-50.0f, 50.0f);
+    std::normal_distribution<float> spread(0.0f, 3.0f);
+
+    std::vector<std::vector<float>> centres(clusters);
+    for (auto &c : centres) {
+        c.resize(dims);
+        for (float &v : c)
+            v = centre_dist(rng);
+    }
+
+    std::vector<DataPoint> pts(count);
+    for (size_t i = 0; i < count; ++i) {
+        const auto &c = centres[i % clusters];
+        pts[i].id = uint32_t(i);
+        pts[i].coords.resize(dims);
+        for (unsigned d = 0; d < dims; ++d)
+            pts[i].coords[d] = c[d] + spread(rng);
+    }
+    return pts;
+}
+
+} // namespace rayflex::bvh

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Procedural scene generation and cameras.
+ *
+ * The paper's motivating workloads are rendered meshes (the bunny of
+ * Fig. 1) and point datasets for hierarchical search. Neither asset
+ * ships with this reproduction, so this module generates the synthetic
+ * equivalents: tessellated spheres and tori, a fractal height field and
+ * random triangle soups for rendering; Gaussian-mixture point clouds
+ * for nearest-neighbor search. Sizes are parameterized so tests stay
+ * fast while examples can scale up.
+ */
+#ifndef RAYFLEX_BVH_SCENE_HH
+#define RAYFLEX_BVH_SCENE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/aabb.hh"
+
+namespace rayflex::bvh
+{
+
+/** UV-sphere mesh centred at `centre`. */
+std::vector<SceneTriangle> makeSphere(Vec3 centre, float radius,
+                                      unsigned rings, unsigned sectors,
+                                      uint32_t first_id = 0);
+
+/** Torus mesh in the xz-plane. */
+std::vector<SceneTriangle> makeTorus(Vec3 centre, float major, float minor,
+                                     unsigned rings, unsigned sectors,
+                                     uint32_t first_id = 0);
+
+/** Diamond-square style fractal terrain over [-size/2, size/2]^2. */
+std::vector<SceneTriangle> makeTerrain(float size, unsigned grid,
+                                       float roughness, uint64_t seed,
+                                       uint32_t first_id = 0);
+
+/** Random triangle soup in [-extent, extent]^3 with bounded edge
+ *  length. */
+std::vector<SceneTriangle> makeSoup(size_t count, float extent,
+                                    float max_edge, uint64_t seed,
+                                    uint32_t first_id = 0);
+
+/** A pinhole camera generating primary rays. */
+struct Camera
+{
+    Vec3 eye{0, 0, 5};
+    Vec3 look_at{0, 0, 0};
+    Vec3 up{0, 1, 0};
+    float fov_deg = 60.0f;
+    unsigned width = 64;
+    unsigned height = 64;
+
+    /** Primary ray through pixel (px, py), centred on the pixel. */
+    core::Ray primaryRay(unsigned px, unsigned py, float t_max) const;
+};
+
+/** A labelled point for nearest-neighbor workloads. */
+struct DataPoint
+{
+    std::vector<float> coords;
+    uint32_t id = 0;
+};
+
+/** Gaussian-mixture point cloud in `dims` dimensions. */
+std::vector<DataPoint> makePointCloud(size_t count, unsigned dims,
+                                      unsigned clusters, uint64_t seed);
+
+} // namespace rayflex::bvh
+
+#endif // RAYFLEX_BVH_SCENE_HH

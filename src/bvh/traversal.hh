@@ -1,0 +1,76 @@
+/**
+ * @file
+ * BVH traversal driven by the RayFlex datapath operations.
+ *
+ * Implements the traversal loop that the RT unit performs around the
+ * datapath (Fig. 3): internal nodes issue one ray-box beat testing the
+ * four child boxes (the datapath returns hit flags and children sorted
+ * by entry distance), leaves issue one ray-triangle beat per triangle.
+ * The datapath is invoked through core::functionalEval, so every
+ * intersection decision is taken by exactly the arithmetic the hardware
+ * model implements.
+ */
+#ifndef RAYFLEX_BVH_TRAVERSAL_HH
+#define RAYFLEX_BVH_TRAVERSAL_HH
+
+#include <optional>
+
+#include "bvh/builder.hh"
+#include "core/stages.hh"
+
+namespace rayflex::bvh
+{
+
+/** Result of tracing one ray. */
+struct HitRecord
+{
+    bool hit = false;
+    float t = 0;           ///< distance along the (unnormalized) ray
+    uint32_t triangle_id = 0;
+    float u = 0, v = 0, w = 0; ///< normalized barycentrics
+};
+
+/** Traversal statistics (datapath beats issued). */
+struct TraversalStats
+{
+    uint64_t box_ops = 0;  ///< ray-box beats (4 boxes each)
+    uint64_t tri_ops = 0;  ///< ray-triangle beats
+    uint64_t nodes_visited = 0;
+    uint64_t max_stack = 0;
+};
+
+/** BVH traversal engine. */
+class Traverser
+{
+  public:
+    explicit Traverser(const Bvh4 &bvh) : bvh_(bvh) {}
+
+    /** Find the closest hit along the ray, or miss. */
+    HitRecord closestHit(const core::Ray &ray);
+
+    /** True as soon as any hit with t in the ray extent exists
+     *  (shadow-ray style early out). */
+    bool anyHit(const core::Ray &ray);
+
+    /** Statistics accumulated over all queries since construction. */
+    const TraversalStats &stats() const { return stats_; }
+
+    /**
+     * Brute-force closest hit testing every triangle through the
+     * datapath (no BVH). Used by the tests as the traversal oracle.
+     */
+    HitRecord bruteForceClosest(const core::Ray &ray) const;
+
+  private:
+    const Bvh4 &bvh_;
+    TraversalStats stats_;
+    core::DistanceAccumulators acc_; // unused by box/tri beats
+};
+
+/** An always-miss box for padding empty child slots: +inf corners make
+ *  every slab interval empty for any ray. */
+core::Box emptySlotBox();
+
+} // namespace rayflex::bvh
+
+#endif // RAYFLEX_BVH_TRAVERSAL_HH

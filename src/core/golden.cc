@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Golden software model implementation.
+ *
+ * The FP32 golden functions use host float arithmetic. The build forces
+ * -ffp-contract=off, so every add/mul rounds to binary32 exactly like the
+ * datapath's per-operation rounding; results are bit-identical to the
+ * hardware model by construction, which the randomized tests verify.
+ */
+#include "core/golden.hh"
+
+#include <cmath>
+
+#include "core/quadsort.hh"
+
+namespace rayflex::core::golden
+{
+
+using namespace rayflex::fp;
+
+namespace
+{
+
+/** NaN-propagating min mirroring the hardware comparator + mux. */
+float
+minProp(float a, float b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return fromBits(kDefaultNaN);
+    return a > b ? b : a;
+}
+
+/** NaN-propagating max mirroring the hardware comparator + mux. */
+float
+maxProp(float a, float b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return fromBits(kDefaultNaN);
+    return a < b ? b : a;
+}
+
+} // namespace
+
+BoxHit
+rayBox(const Ray &ray, const Box &box)
+{
+    float org[3], inv[3], lo[3], hi[3];
+    for (int d = 0; d < 3; ++d) {
+        org[d] = fromBits(ray.origin[d]);
+        inv[d] = fromBits(ray.inv_dir[d]);
+        lo[d] = fromBits(box.lo[d]);
+        hi[d] = fromBits(box.hi[d]);
+    }
+    float near_d[3], far_d[3];
+    for (int d = 0; d < 3; ++d) {
+        // Same op order as stages 2-4: translate, multiply, swap.
+        float t0 = (lo[d] - org[d]) * inv[d];
+        float t1 = (hi[d] - org[d]) * inv[d];
+        near_d[d] = minProp(t0, t1);
+        far_d[d] = maxProp(t0, t1);
+    }
+    float t_beg = fromBits(ray.t_beg);
+    float t_end = fromBits(ray.t_end);
+    float near = maxProp(maxProp(near_d[0], near_d[1]),
+                         maxProp(near_d[2], t_beg));
+    float far =
+        minProp(minProp(far_d[0], far_d[1]), minProp(far_d[2], t_end));
+    BoxHit r;
+    // NaN anywhere makes the comparison false: miss.
+    r.hit = !(std::isnan(near) || std::isnan(far)) && near <= far;
+    r.t_near = toBits(near);
+    return r;
+}
+
+BoxResult
+rayBoxN(const Ray &ray, const std::array<Box, kMaxBoxesPerOp> &boxes,
+        unsigned width)
+{
+    BoxResult out;
+    std::array<SortRecord<uint8_t>, kMaxBoxesPerOp> recs;
+    for (size_t b = 0; b < kMaxBoxesPerOp; ++b) {
+        F32 key = kPosInf;
+        if (b < width) {
+            BoxHit h = rayBox(ray, boxes[b]);
+            out.hit[b] = h.hit;
+            if (h.hit)
+                key = h.t_near;
+        }
+        if (isNaNF32(key))
+            key = kPosInf;
+        recs[b] = {key, static_cast<uint8_t>(b)};
+    }
+    sortNetwork(recs, width);
+    for (size_t i = 0; i < kMaxBoxesPerOp; ++i) {
+        out.order[i] = recs[i].payload;
+        out.sorted_dist[i] = recs[i].key;
+    }
+    return out;
+}
+
+BoxResult
+rayBox4(const Ray &ray, const std::array<Box, kMaxBoxesPerOp> &boxes)
+{
+    return rayBoxN(ray, boxes, kBoxesPerOp);
+}
+
+TriangleResult
+rayTriangle(const Ray &ray, const Triangle &tri)
+{
+    const int kx = ray.kx, ky = ray.ky, kz = ray.kz;
+    const float sx = fromBits(ray.shear[0]);
+    const float sy = fromBits(ray.shear[1]);
+    const float sz = fromBits(ray.shear[2]);
+
+    float v[3][3]; // translated vertices A, B, C
+    for (int i = 0; i < 3; ++i)
+        for (int d = 0; d < 3; ++d)
+            v[i][d] = fromBits(tri.v[i][d]) - fromBits(ray.origin[d]);
+
+    // Shear and scale (same op order as stages 3-4).
+    float x[3], y[3], z[3];
+    for (int i = 0; i < 3; ++i) {
+        x[i] = v[i][kx] - sx * v[i][kz];
+        y[i] = v[i][ky] - sy * v[i][kz];
+        z[i] = sz * v[i][kz];
+    }
+
+    float u = x[2] * y[1] - y[2] * x[1]; // Cx*By - Cy*Bx
+    float vv = x[0] * y[2] - y[0] * x[2]; // Ax*Cy - Ay*Cx
+    float w = x[1] * y[0] - y[1] * x[0]; // Bx*Ay - By*Ax
+
+    float det = (u + vv) + w;
+    float t_num = (u * z[0] + vv * z[1]) + w * z[2];
+
+    TriangleResult r;
+    r.t_num = toBits(t_num);
+    r.t_den = toBits(det);
+    r.uvw = {toBits(u), toBits(vv), toBits(w)};
+    // Backface culling: det must be strictly positive. All comparisons
+    // are false on NaN.
+    r.hit = (u >= 0.0f) && (vv >= 0.0f) && (w >= 0.0f) && (det > 0.0f) &&
+            (t_num >= 0.0f);
+    return r;
+}
+
+F32
+euclideanBeat(const std::array<F32, kEuclideanWidth> &a,
+              const std::array<F32, kEuclideanWidth> &b, uint16_t mask)
+{
+    float sq[kEuclideanWidth];
+    for (size_t i = 0; i < kEuclideanWidth; ++i) {
+        if (mask & (1u << i)) {
+            float d = fromBits(a[i]) - fromBits(b[i]);
+            sq[i] = d * d;
+        } else {
+            sq[i] = 0.0f;
+        }
+    }
+    // Balanced reduction tree, identical association to stages 4-9.
+    for (int width = 8; width >= 1; width /= 2)
+        for (int i = 0; i < width; ++i)
+            sq[i] = sq[2 * i] + sq[2 * i + 1];
+    return toBits(sq[0]);
+}
+
+CosineBeat
+cosineBeat(const std::array<F32, kEuclideanWidth> &a,
+           const std::array<F32, kEuclideanWidth> &b, uint16_t mask)
+{
+    float dot[kCosineWidth], sq[kCosineWidth];
+    for (size_t i = 0; i < kCosineWidth; ++i) {
+        if (mask & (1u << i)) {
+            dot[i] = fromBits(a[i]) * fromBits(b[i]);
+            sq[i] = fromBits(b[i]) * fromBits(b[i]);
+        } else {
+            dot[i] = 0.0f;
+            sq[i] = 0.0f;
+        }
+    }
+    for (int width = 4; width >= 1; width /= 2) {
+        for (int i = 0; i < width; ++i) {
+            dot[i] = dot[2 * i] + dot[2 * i + 1];
+            sq[i] = sq[2 * i] + sq[2 * i + 1];
+        }
+    }
+    return {toBits(dot[0]), toBits(sq[0])};
+}
+
+namespace
+{
+
+/** NaN-propagating double min/max mirroring the comparator + mux. */
+double
+minPropD(double a, double b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return double(fromBits(kDefaultNaN));
+    return a > b ? b : a;
+}
+
+double
+maxPropD(double a, double b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return double(fromBits(kDefaultNaN));
+    return a < b ? b : a;
+}
+
+} // namespace
+
+BoxHit
+rayBoxUnrounded(const Ray &ray, const Box &box)
+{
+    double org[3], inv[3], lo[3], hi[3];
+    for (int d = 0; d < 3; ++d) {
+        org[d] = fromBits(ray.origin[d]);
+        inv[d] = fromBits(ray.inv_dir[d]);
+        lo[d] = fromBits(box.lo[d]);
+        hi[d] = fromBits(box.hi[d]);
+    }
+    double near_d[3], far_d[3];
+    for (int d = 0; d < 3; ++d) {
+        double t0 = (lo[d] - org[d]) * inv[d];
+        double t1 = (hi[d] - org[d]) * inv[d];
+        near_d[d] = minPropD(t0, t1);
+        far_d[d] = maxPropD(t0, t1);
+    }
+    double near = maxPropD(maxPropD(near_d[0], near_d[1]),
+                           maxPropD(near_d[2], fromBits(ray.t_beg)));
+    double far = minPropD(minPropD(far_d[0], far_d[1]),
+                          minPropD(far_d[2], fromBits(ray.t_end)));
+    BoxHit r;
+    r.hit = !(std::isnan(near) || std::isnan(far)) && near <= far;
+    // One rounding at the output converter.
+    r.t_near = toBits(float(near));
+    return r;
+}
+
+TriangleResult
+rayTriangleUnrounded(const Ray &ray, const Triangle &tri)
+{
+    const int kx = ray.kx, ky = ray.ky, kz = ray.kz;
+    const double sx = fromBits(ray.shear[0]);
+    const double sy = fromBits(ray.shear[1]);
+    const double sz = fromBits(ray.shear[2]);
+
+    double v[3][3];
+    for (int i = 0; i < 3; ++i)
+        for (int d = 0; d < 3; ++d)
+            v[i][d] = double(fromBits(tri.v[i][d])) -
+                      double(fromBits(ray.origin[d]));
+
+    double x[3], y[3], z[3];
+    for (int i = 0; i < 3; ++i) {
+        x[i] = v[i][kx] - sx * v[i][kz];
+        y[i] = v[i][ky] - sy * v[i][kz];
+        z[i] = sz * v[i][kz];
+    }
+    double u = x[2] * y[1] - y[2] * x[1];
+    double vv = x[0] * y[2] - y[0] * x[2];
+    double w = x[1] * y[0] - y[1] * x[0];
+    double det = (u + vv) + w;
+    double t_num = (u * z[0] + vv * z[1]) + w * z[2];
+
+    TriangleResult r;
+    r.t_num = toBits(float(t_num));
+    r.t_den = toBits(float(det));
+    r.uvw = {toBits(float(u)), toBits(float(vv)), toBits(float(w))};
+    r.hit = (u >= 0.0) && (vv >= 0.0) && (w >= 0.0) && (det > 0.0) &&
+            (t_num >= 0.0);
+    return r;
+}
+
+F32
+euclideanBeatUnrounded(const std::array<F32, kEuclideanWidth> &a,
+                       const std::array<F32, kEuclideanWidth> &b,
+                       uint16_t mask)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < kEuclideanWidth; ++i) {
+        if (mask & (1u << i)) {
+            double d = double(fromBits(a[i])) - double(fromBits(b[i]));
+            sum += d * d;
+        }
+    }
+    return toBits(float(sum));
+}
+
+std::optional<double>
+refRayBox(const Ray &ray, const Box &box)
+{
+    double t_near = fromBits(ray.t_beg);
+    double t_far = fromBits(ray.t_end);
+    for (int d = 0; d < 3; ++d) {
+        double org = fromBits(ray.origin[d]);
+        double dir = fromBits(ray.dir[d]);
+        double lo = fromBits(box.lo[d]);
+        double hi = fromBits(box.hi[d]);
+        if (dir == 0.0) {
+            // Parallel to the slab: on-boundary counts as outside to
+            // match the hardware's NaN-miss convention.
+            if (!(org > lo && org < hi))
+                return std::nullopt;
+            continue;
+        }
+        double t0 = (lo - org) / dir;
+        double t1 = (hi - org) / dir;
+        if (t0 > t1)
+            std::swap(t0, t1);
+        t_near = std::max(t_near, t0);
+        t_far = std::min(t_far, t1);
+        if (t_near > t_far)
+            return std::nullopt;
+    }
+    return t_near;
+}
+
+std::optional<double>
+refRayTriangle(const Ray &ray, const Triangle &tri)
+{
+    double org[3], dir[3], a[3], b[3], c[3];
+    for (int d = 0; d < 3; ++d) {
+        org[d] = fromBits(ray.origin[d]);
+        dir[d] = fromBits(ray.dir[d]);
+        a[d] = fromBits(tri.v[0][d]);
+        b[d] = fromBits(tri.v[1][d]);
+        c[d] = fromBits(tri.v[2][d]);
+    }
+    double e1[3], e2[3];
+    for (int d = 0; d < 3; ++d) {
+        e1[d] = b[d] - a[d];
+        e2[d] = c[d] - a[d];
+    }
+    auto cross = [](const double *u, const double *v, double *out) {
+        out[0] = u[1] * v[2] - u[2] * v[1];
+        out[1] = u[2] * v[0] - u[0] * v[2];
+        out[2] = u[0] * v[1] - u[1] * v[0];
+    };
+    auto dot = [](const double *u, const double *v) {
+        return u[0] * v[0] + u[1] * v[1] + u[2] * v[2];
+    };
+    double p[3];
+    cross(dir, e2, p);
+    double det = dot(e1, p);
+    if (det <= 0.0)
+        return std::nullopt; // backface or coplanar
+    double tvec[3] = {org[0] - a[0], org[1] - a[1], org[2] - a[2]};
+    double u = dot(tvec, p) / det;
+    if (u < 0.0 || u > 1.0)
+        return std::nullopt;
+    double q[3];
+    cross(tvec, e1, q);
+    double v = dot(dir, q) / det;
+    if (v < 0.0 || u + v > 1.0)
+        return std::nullopt;
+    double t = dot(e2, q) / det;
+    if (t < 0.0)
+        return std::nullopt;
+    return t;
+}
+
+double
+refEuclidean(const std::array<F32, kEuclideanWidth> &a,
+             const std::array<F32, kEuclideanWidth> &b, uint16_t mask)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < kEuclideanWidth; ++i) {
+        if (mask & (1u << i)) {
+            double d = double(fromBits(a[i])) - double(fromBits(b[i]));
+            sum += d * d;
+        }
+    }
+    return sum;
+}
+
+} // namespace rayflex::core::golden

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Golden software models (Section IV-A).
+ *
+ * Two layers of reference:
+ *
+ *  1. The *golden* model: host IEEE FP32 arithmetic mirroring the
+ *     datapath's exact operation order, rounding and NaN semantics.
+ *     Hardware results must match it bit-for-bit; this is the ground
+ *     truth the paper verifies against with hundreds of thousands of
+ *     random cases.
+ *
+ *  2. The *geometric reference*: double-precision, algorithm-independent
+ *     implementations used by property tests to check that the golden
+ *     model itself is geometrically sane away from degenerate inputs.
+ */
+#ifndef RAYFLEX_CORE_GOLDEN_HH
+#define RAYFLEX_CORE_GOLDEN_HH
+
+#include <optional>
+
+#include "core/io_spec.hh"
+
+namespace rayflex::core::golden
+{
+
+/** Golden result of one slab test. */
+struct BoxHit
+{
+    bool hit = false;
+    F32 t_near = 0; ///< entry distance (meaningful when hit)
+};
+
+/** Golden slab ray-box test in FP32 with hardware NaN semantics. */
+BoxHit rayBox(const Ray &ray, const Box &box);
+
+/** Golden multi-box test plus the stage-10 sort, matching BoxResult.
+ *  Slots at index >= width are reported as misses with +inf keys. */
+BoxResult rayBoxN(const Ray &ray,
+                  const std::array<Box, kMaxBoxesPerOp> &boxes,
+                  unsigned width);
+
+/** Golden 4-box test (the RDNA3 default width). */
+BoxResult rayBox4(const Ray &ray,
+                  const std::array<Box, kMaxBoxesPerOp> &boxes);
+
+/** Golden watertight ray-triangle test in FP32. */
+TriangleResult rayTriangle(const Ray &ray, const Triangle &tri);
+
+/** Golden 16-wide Euclidean beat partial sum (same reduction tree). */
+F32 euclideanBeat(const std::array<F32, kEuclideanWidth> &a,
+                  const std::array<F32, kEuclideanWidth> &b, uint16_t mask);
+
+/** Golden 8-wide cosine beat partial sums (dot, norm). */
+struct CosineBeat
+{
+    F32 dot = 0;
+    F32 norm = 0;
+};
+CosineBeat cosineBeat(const std::array<F32, kEuclideanWidth> &a,
+                      const std::array<F32, kEuclideanWidth> &b,
+                      uint16_t mask);
+
+// ----- unrounded-intermediate variants (Section III-F study) -----
+//
+// RayFlex rounds to binary32 after every addition/multiplication; the
+// paper flags "forgo rounding at some or all stages" as an unexplored
+// trade for area/frequency. These variants model the no-intermediate-
+// rounding datapath: identical operation order, but intermediates keep
+// extra precision (modelled with double) and a single rounding to FP32
+// happens at the output converter. Used by bench_ablation_rounding to
+// quantify how far the unrounded results drift from the rounded
+// ("golden") ones - the verification complication the paper predicts.
+
+/** Slab test with unrounded intermediates. */
+BoxHit rayBoxUnrounded(const Ray &ray, const Box &box);
+
+/** Watertight triangle test with unrounded intermediates. */
+TriangleResult rayTriangleUnrounded(const Ray &ray, const Triangle &tri);
+
+/** Euclidean beat partial sum with unrounded intermediates. */
+F32 euclideanBeatUnrounded(const std::array<F32, kEuclideanWidth> &a,
+                           const std::array<F32, kEuclideanWidth> &b,
+                           uint16_t mask);
+
+// ----- double-precision geometric references (property tests) -----
+
+/** Double-precision slab test; returns entry distance when the ray
+ *  segment [t_beg, t_end] intersects the box, nullopt otherwise.
+ *  Boundary cases are resolved with closed intervals. */
+std::optional<double> refRayBox(const Ray &ray, const Box &box);
+
+/** Double-precision Moller-Trumbore style test with backface culling;
+ *  returns t when hit. */
+std::optional<double> refRayTriangle(const Ray &ray, const Triangle &tri);
+
+/** Double-precision masked squared Euclidean distance. */
+double refEuclidean(const std::array<F32, kEuclideanWidth> &a,
+                    const std::array<F32, kEuclideanWidth> &b,
+                    uint16_t mask);
+
+} // namespace rayflex::core::golden
+
+#endif // RAYFLEX_CORE_GOLDEN_HH

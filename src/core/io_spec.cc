@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ray-creation precompute and IO convenience constructors.
+ */
+#include "core/io_spec.hh"
+
+#include "core/config.hh"
+
+namespace rayflex::core
+{
+
+using namespace rayflex::fp;
+
+const char *
+registerPolicyName(RegisterPolicy p)
+{
+    switch (p) {
+      case RegisterPolicy::DisjointPerOp: return "disjoint-per-op";
+      case RegisterPolicy::SharedUnionAligned: return "shared-aligned";
+      case RegisterPolicy::SharedUnionWorstCase: return "shared-worst";
+    }
+    return "unknown";
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::RayBox: return "ray-box";
+      case Opcode::RayTriangle: return "ray-triangle";
+      case Opcode::Euclidean: return "euclidean";
+      case Opcode::Cosine: return "cosine";
+    }
+    return "unknown";
+}
+
+Ray
+makeRay(const std::array<F32, 3> &origin, const std::array<F32, 3> &dir,
+        F32 t_beg, F32 t_end)
+{
+    Ray r;
+    r.origin = origin;
+    r.dir = dir;
+    r.t_beg = t_beg;
+    r.t_end = t_end;
+
+    constexpr F32 one = 0x3F800000u; // 1.0f
+    for (int d = 0; d < 3; ++d)
+        r.inv_dir[d] = divF32(one, dir[d]);
+
+    // kz: the dimension where |dir| is maximal (2 comparisons).
+    F32 ax = dir[0] & 0x7FFFFFFFu;
+    F32 ay = dir[1] & 0x7FFFFFFFu;
+    F32 az = dir[2] & 0x7FFFFFFFu;
+    uint8_t kz = 2;
+    if (geF32(ax, ay) && geF32(ax, az))
+        kz = 0;
+    else if (geF32(ay, az))
+        kz = 1;
+    uint8_t kx = (kz + 1) % 3;
+    uint8_t ky = (kx + 1) % 3;
+    // Swap kx/ky to preserve the winding direction of triangles when the
+    // dominant component is negative (1 comparison).
+    if (signF32(dir[kz]) && !isZeroF32(dir[kz]))
+        std::swap(kx, ky);
+    r.kx = kx;
+    r.ky = ky;
+    r.kz = kz;
+
+    // Shear constants (3 divisions, done here so the datapath has none).
+    r.shear[0] = divF32(dir[kx], dir[kz]); // Sx
+    r.shear[1] = divF32(dir[ky], dir[kz]); // Sy
+    r.shear[2] = divF32(one, dir[kz]);     // Sz
+    return r;
+}
+
+Ray
+makeRay(float ox, float oy, float oz, float dx, float dy, float dz,
+        float t_beg, float t_end)
+{
+    return makeRay({toBits(ox), toBits(oy), toBits(oz)},
+                   {toBits(dx), toBits(dy), toBits(dz)}, toBits(t_beg),
+                   toBits(t_end));
+}
+
+Box
+makeBox(float lx, float ly, float lz, float hx, float hy, float hz)
+{
+    Box b;
+    b.lo = {toBits(lx), toBits(ly), toBits(lz)};
+    b.hi = {toBits(hx), toBits(hy), toBits(hz)};
+    return b;
+}
+
+Triangle
+makeTriangle(float ax, float ay, float az, float bx, float by, float bz,
+             float cx, float cy, float cz)
+{
+    Triangle t;
+    t.v[0] = {toBits(ax), toBits(ay), toBits(az)};
+    t.v[1] = {toBits(bx), toBits(by), toBits(bz)};
+    t.v[2] = {toBits(cx), toBits(cy), toBits(cz)};
+    return t;
+}
+
+} // namespace rayflex::core

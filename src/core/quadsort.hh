@@ -1,0 +1,114 @@
+/**
+ * @file
+ * QuadSort: the 4-element sorting network of pipeline stage 10.
+ *
+ * After the four parallel ray-box tests, the RDNA3 instruction returns
+ * the children sorted by their order of intersection. A sorting network
+ * can sort four elements with just five compare-exchange units arranged
+ * in three levels (Section III-B1):
+ *
+ *   level 1: CE(0,1)  CE(2,3)
+ *   level 2: CE(0,2)  CE(1,3)
+ *   level 3: CE(1,2)
+ *
+ * An exchange happens only on a strictly-greater comparison, so equal
+ * keys never swap with each other (though the network is not fully
+ * stable: the level-2 (1,3) exchange can move a key past slot 2), and
+ * NaN keys never swap (hardware comparators report unordered, which the
+ * exchange treats as "do not swap").
+ */
+#ifndef RAYFLEX_CORE_QUADSORT_HH
+#define RAYFLEX_CORE_QUADSORT_HH
+
+#include <array>
+#include <utility>
+
+#include "fp/float32.hh"
+
+namespace rayflex::core
+{
+
+/** One record flowing through the sorting network. */
+template <typename Payload>
+struct SortRecord
+{
+    fp::F32 key;     ///< sort key (entry distance; +inf for misses)
+    Payload payload; ///< carried data (box slot index)
+};
+
+/**
+ * Sort four records by ascending key using the 5-comparator network.
+ * Misses should be encoded with a +inf key so they sort last.
+ */
+template <typename Payload>
+std::array<SortRecord<Payload>, 4>
+quadSort(std::array<SortRecord<Payload>, 4> r)
+{
+    auto ce = [](SortRecord<Payload> &a, SortRecord<Payload> &b) {
+        // Compare-exchange: swap only when strictly greater; unordered
+        // comparisons (NaN) never swap.
+        if (fp::gtF32(a.key, b.key))
+            std::swap(a, b);
+    };
+    ce(r[0], r[1]);
+    ce(r[2], r[3]);
+    ce(r[0], r[2]);
+    ce(r[1], r[3]);
+    ce(r[1], r[2]);
+    return r;
+}
+
+/**
+ * Generic Batcher odd-even mergesort network over the first n records,
+ * supporting the non-4-wide BVH node configurations (e.g. Mesa's 6-wide
+ * nodes). For n == 4 the generated compare-exchange sequence is exactly
+ * the QuadSort network above. The comparator count grows
+ * O(n log^2 n): 1 -> 0, 2 -> 1, 4 -> 5, 6 -> 12, 8 -> 19.
+ *
+ * @param r Records; entries at index >= n are left untouched.
+ * @param n Number of records to sort (n <= r.size()).
+ */
+template <typename Payload, size_t N>
+void
+sortNetwork(std::array<SortRecord<Payload>, N> &r, size_t n)
+{
+    auto ce = [&](size_t a, size_t b) {
+        if (fp::gtF32(r[a].key, r[b].key))
+            std::swap(r[a], r[b]);
+    };
+    for (size_t p = 1; p < n; p *= 2) {
+        for (size_t k = p; k >= 1; k /= 2) {
+            for (size_t j = k % p; j + k < n; j += 2 * k) {
+                for (size_t i = 0; i < k && i + j + k < n; ++i) {
+                    if ((i + j) / (2 * p) == (i + j + k) / (2 * p))
+                        ce(i + j, i + j + k);
+                }
+            }
+            if (k == 1)
+                break;
+        }
+    }
+}
+
+/** Number of compare-exchange units in the n-input Batcher network
+ *  (used by the synthesis model to cost non-default node widths). */
+constexpr unsigned
+sortNetworkComparators(unsigned n)
+{
+    unsigned count = 0;
+    for (unsigned p = 1; p < n; p *= 2) {
+        for (unsigned k = p; k >= 1; k /= 2) {
+            for (unsigned j = k % p; j + k < n; j += 2 * k)
+                for (unsigned i = 0; i < k && i + j + k < n; ++i)
+                    if ((i + j) / (2 * p) == (i + j + k) / (2 * p))
+                        ++count;
+            if (k == 1)
+                break;
+        }
+    }
+    return count;
+}
+
+} // namespace rayflex::core
+
+#endif // RAYFLEX_CORE_QUADSORT_HH

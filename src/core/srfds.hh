@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The Shared RayFlex Data Structure (SRFDS), Section III-E of the paper.
+ *
+ * One very wide structure contains every field that needs to be
+ * registered at any stage of the entire pipeline, for every operation.
+ * The same structure is instantiated as the payload of every intermediate
+ * skid buffer ("defined once, instantiated everywhere"); only the first
+ * and last stages use the external IO layout. A stage's logic copies its
+ * input SRFDS to its output and overwrites just the fields it produces.
+ *
+ * In RTL, unused fields of each stage's register are removed by the
+ * synthesizer's dead-node elimination; in this model the equivalent
+ * bookkeeping lives in the synthesis library's field-liveness table
+ * (synth/liveness.hh), which the area model uses to count surviving
+ * register bits per stage.
+ *
+ * All floating-point fields are in the internal 33-bit recoded format
+ * between stages 1 and 11.
+ */
+#ifndef RAYFLEX_CORE_SRFDS_HH
+#define RAYFLEX_CORE_SRFDS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/io_spec.hh"
+#include "fp/recoded.hh"
+
+namespace rayflex::core
+{
+
+using fp::Rec32;
+
+/** The Shared RayFlex Data Structure. */
+struct Srfds
+{
+    // ----- control, live at every stage -----
+    Opcode op = Opcode::RayBox;
+    uint64_t tag = 0;
+    bool reset_accumulator = false;
+
+    // ----- ray fields (box + triangle lanes) -----
+    std::array<Rec32, 3> org{};      ///< ray origin
+    std::array<Rec32, 3> inv{};      ///< inverse direction
+    Rec32 t_beg{};                   ///< ray extent start
+    Rec32 t_end{};                   ///< ray extent end
+    std::array<Rec32, 3> shear{};    ///< Sx, Sy, Sz
+    uint8_t kx = 0, ky = 1, kz = 2;  ///< axis permutation
+
+    // ----- ray-box lane -----
+    /** Instantiated BVH node width (from DatapathConfig::box_width);
+     *  only the first box_width slots of the arrays below are live. */
+    uint8_t box_width = kBoxesPerOp;
+    /** Box corner values; reused in place: raw corners (stage 1), then
+     *  origin-translated corners (stage 2), then slab t-values
+     *  (stage 3). */
+    std::array<std::array<Rec32, 3>, kMaxBoxesPerOp> box_lo{};
+    std::array<std::array<Rec32, 3>, kMaxBoxesPerOp> box_hi{};
+    /** Slab entry distance per box (stage 4). */
+    std::array<Rec32, kMaxBoxesPerOp> box_near{};
+    /** Slab exit distance per box (stage 4). */
+    std::array<Rec32, kMaxBoxesPerOp> box_far{};
+    /** Per-box hit flag (stage 4). */
+    std::array<bool, kMaxBoxesPerOp> box_hit{};
+    /** Box slot indices sorted by entry distance (stage 10). */
+    std::array<uint8_t, kMaxBoxesPerOp> box_order{};
+    /** Entry distance per sorted position (stage 10). */
+    std::array<Rec32, kMaxBoxesPerOp> box_sorted_dist{};
+
+    // ----- ray-triangle lane -----
+    /** Vertices; raw (stage 1), then origin-translated A,B,C (stage 2). */
+    std::array<std::array<Rec32, 3>, 3> tri_v{};
+    /** Shear products per vertex: S * v[kz] (stage 3). */
+    std::array<std::array<Rec32, 3>, 3> shear_prod{};
+    /** Sheared 2D coordinates Ax,Ay / Bx,By / Cx,Cy (stage 4). */
+    std::array<std::array<Rec32, 2>, 3> txy{};
+    /** Sheared z coordinates Az, Bz, Cz (stage 4, copied from
+     *  shear_prod). */
+    std::array<Rec32, 3> tz{};
+    /** Barycentric cross products (stage 5):
+     *  Cx*By, Cy*Bx, Ax*Cy, Ay*Cx, Bx*Ay, By*Ax. */
+    std::array<Rec32, 6> uvw_prod{};
+    /** Scaled barycentric coordinates U, V, W (stage 6). */
+    std::array<Rec32, 3> uvw{};
+    /** Distance products U*Az, V*Bz, W*Cz (stage 7). */
+    std::array<Rec32, 3> t_prod{};
+    Rec32 det_partial{}; ///< U+V (stage 8)
+    Rec32 t_partial{};   ///< U*Az + V*Bz (stage 8)
+    Rec32 det{};         ///< determinant = U+V+W (stage 9)
+    Rec32 t_num{};       ///< distance numerator (stage 9)
+    bool tri_hit = false; ///< hit flag (stage 10)
+
+    // ----- distance lane (extended pipeline only) -----
+    uint16_t mask = 0xFFFF; ///< dimension validity mask
+    /** Euclidean working vector, reused in place: recoded a (stage 1),
+     *  differences (stage 2), squares (stage 3), then the reduction tree
+     *  uses slots [0,8) / [0,4) / [0,2) / [0,1) at stages 4/6/8/9. */
+    std::array<Rec32, kEuclideanWidth> dvec{};
+    /** Recoded candidate vector b (stage 1; consumed at stage 2/3). */
+    std::array<Rec32, kEuclideanWidth> dvec_b{};
+    /** Cosine dot-product lane: products (stage 3), reduced at
+     *  stages 4/6/8 using slots [0,4) / [0,2) / [0,1). */
+    std::array<Rec32, kCosineWidth> cos_dot{};
+    /** Cosine candidate-norm lane, same reduction schedule. */
+    std::array<Rec32, kCosineWidth> cos_sq{};
+    Rec32 euclid_out{};              ///< accumulator output (stage 10)
+    bool euclid_reset_out = false;   ///< reset echo (stage 10)
+    Rec32 dot_out{};                 ///< dot accumulator output (stage 9)
+    Rec32 norm_out{};                ///< norm accumulator output (stage 9)
+    bool angular_reset_out = false;  ///< reset echo (stage 9)
+};
+
+} // namespace rayflex::core
+
+#endif // RAYFLEX_CORE_SRFDS_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The combinational logic of the eleven RayFlex pipeline stages.
+ *
+ * Each stage is a pure function from its input bundle to its output
+ * bundle, matching the mapping of BVH-operation steps to stages in
+ * Fig. 4c (baseline ops) and Fig. 6c (extended ops):
+ *
+ *  stage 1  format conversion FP32 -> rec33
+ *  stage 2  24 adders    box translate (24) / tri translate (9) /
+ *                        euclidean difference (16)
+ *  stage 3  24 mults     box t-planes (24) / tri shear products (9) /
+ *                        euclidean squares (16) / cosine products (16)
+ *  stage 4  40 cmps, 6(+2) adders
+ *                        box slab min/max trees + hit (40) /
+ *                        tri shear subtract (6) / distance reduce (8)
+ *  stage 5  6 mults      tri barycentric products
+ *  stage 6  3(+1) adders tri U,V,W / distance reduce (4)
+ *  stage 7  3 mults      tri distance products
+ *  stage 8  2 adders     tri det,T partials / distance reduce (2)
+ *  stage 9  2 adders (+2 regs)
+ *                        tri det,T / euclidean final reduce (1) /
+ *                        cosine accumulate (2, stateful)
+ *  stage 10 2 QuadSorts + 5 cmps (+1 adder, +1 reg)
+ *                        box sort / tri hit test / euclidean accumulate
+ *  stage 11 format conversion rec33 -> FP32
+ *
+ * Stages 9 and 10 of the extended pipeline hold the distance
+ * accumulators; their state lives in DistanceAccumulators, owned by the
+ * enclosing datapath and captured by the stage's skid-buffer logic
+ * (the paper notes that programmer-supplied logic may be stateful).
+ */
+#ifndef RAYFLEX_CORE_STAGES_HH
+#define RAYFLEX_CORE_STAGES_HH
+
+#include "core/io_spec.hh"
+#include "core/srfds.hh"
+
+namespace rayflex::core
+{
+
+/** Accumulator registers of the extended pipeline (Section V-A).
+ *  Euclidean and cosine jobs use separate registers, so multi-beat jobs
+ *  of the two kinds may be freely interleaved. */
+struct DistanceAccumulators
+{
+    Rec32 euclid = fp::recZero(); ///< stage-10 register
+    Rec32 dot = fp::recZero();    ///< stage-9 register
+    Rec32 norm = fp::recZero();   ///< stage-9 register
+};
+
+namespace stages
+{
+
+/** Stage 1: convert the external IO layout into the SRFDS (FP32 ->
+ *  recoded). box_width is the instantiated BVH node width. */
+Srfds stage1(const DatapathInput &in, unsigned box_width = kBoxesPerOp);
+
+/** Stage 2: translation subtractions / Euclidean differences. */
+Srfds stage2(Srfds s);
+
+/** Stage 3: slab / shear / square / product multiplications. */
+Srfds stage3(Srfds s);
+
+/** Stage 4: slab compare trees and box hit; triangle shear subtracts;
+ *  first distance reduction level. */
+Srfds stage4(Srfds s);
+
+/** Stage 5: barycentric cross products. */
+Srfds stage5(Srfds s);
+
+/** Stage 6: barycentric subtractions; distance reduction level 2. */
+Srfds stage6(Srfds s);
+
+/** Stage 7: hit-distance products. */
+Srfds stage7(Srfds s);
+
+/** Stage 8: determinant/distance partial sums; distance reduction
+ *  level 3. */
+Srfds stage8(Srfds s);
+
+/** Stage 9: determinant/distance final sums; Euclidean final reduction;
+ *  cosine accumulation (stateful). */
+Srfds stage9(Srfds s, DistanceAccumulators &acc);
+
+/** Stage 10: QuadSort; triangle hit test; Euclidean accumulation
+ *  (stateful). */
+Srfds stage10(Srfds s, DistanceAccumulators &acc);
+
+/** Stage 11: convert the SRFDS into the external output layout
+ *  (recoded -> FP32). */
+DatapathOutput stage11(const Srfds &s);
+
+} // namespace stages
+
+/**
+ * Single-shot functional evaluation of the whole datapath: applies the
+ * eleven stages back to back without pipelining. Used by the golden
+ * cross-checks, the BVH traversal engine and fast workload generation.
+ * Accumulator state behaves exactly as in the pipelined model (beats are
+ * observed in call order).
+ */
+DatapathOutput functionalEval(const DatapathInput &in,
+                              DistanceAccumulators &acc,
+                              unsigned box_width = kBoxesPerOp);
+
+} // namespace rayflex::core
+
+#endif // RAYFLEX_CORE_STAGES_HH

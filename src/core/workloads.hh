@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Random workload generation for verification and power stimulus.
+ *
+ * The paper verifies RayFlex with "hundreds of thousands of random test
+ * cases" and measures power from testbenches of 100 random cases per
+ * operating mode (Section VI). This module generates those stimuli:
+ * random rays, boxes, triangles and distance vectors with controllable
+ * geometry so that both hits and misses are well represented, plus
+ * adversarial generators that target boundary conditions (coplanar rays,
+ * shared corners, degenerate triangles, zero direction components).
+ */
+#ifndef RAYFLEX_CORE_WORKLOADS_HH
+#define RAYFLEX_CORE_WORKLOADS_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/io_spec.hh"
+
+namespace rayflex::core
+{
+
+/** Deterministic workload generator. */
+class WorkloadGen
+{
+  public:
+    explicit WorkloadGen(uint64_t seed = 1) : rng_(seed) {}
+
+    /** Uniform float in [lo, hi). */
+    float uniform(float lo, float hi);
+
+    /** A random ray with origin in [-s,s]^3 and a nonzero direction.
+     *  About one direction component in eight is forced to exactly zero
+     *  to exercise the infinite-inverse paths. */
+    Ray ray(float s = 10.0f);
+
+    /** A random box with corners in [-s,s]^3 (lo <= hi per dimension). */
+    Box box(float s = 10.0f);
+
+    /** A random triangle with vertices in [-s,s]^3. */
+    Triangle triangle(float s = 10.0f);
+
+    /** A ray-box input beat with four random boxes; roughly half the
+     *  rays are aimed at one of the boxes so hits are frequent. */
+    DatapathInput rayBoxOp(uint64_t tag = 0);
+
+    /** A ray-triangle input beat; roughly half the rays are aimed at a
+     *  point inside the triangle. */
+    DatapathInput rayTriangleOp(uint64_t tag = 0);
+
+    /** A Euclidean-distance beat with random vectors and, occasionally,
+     *  a random mask. */
+    DatapathInput euclideanOp(bool reset = true, uint64_t tag = 0);
+
+    /** A cosine-distance beat. */
+    DatapathInput cosineOp(bool reset = true, uint64_t tag = 0);
+
+    /** Adversarial ray-box beat: the ray origin is placed exactly on a
+     *  box face, corner or edge, and/or direction components are zeroed,
+     *  hitting the NaN corner cases of Section IV-A. */
+    DatapathInput adversarialRayBoxOp(uint64_t tag = 0);
+
+    /** Adversarial ray-triangle beat: coplanar rays, edge/vertex hits,
+     *  degenerate (zero-area) triangles. */
+    DatapathInput adversarialRayTriangleOp(uint64_t tag = 0);
+
+    /** A batch of beats for one operating mode (power stimulus). */
+    std::vector<DatapathInput> batch(Opcode op, size_t n);
+
+    /** The underlying engine, for tests that need raw randomness. */
+    std::mt19937_64 &engine() { return rng_; }
+
+  private:
+    std::mt19937_64 rng_;
+};
+
+} // namespace rayflex::core
+
+#endif // RAYFLEX_CORE_WORKLOADS_HH

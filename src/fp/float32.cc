@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Softfloat implementation of binary32 add/sub/mul/div and comparison.
+ *
+ * The algorithms follow the classic Berkeley SoftFloat structure: decode,
+ * operate on widened significands with guard bits, then round-and-pack
+ * with round-to-nearest-even. Subnormal inputs and outputs are handled
+ * with full gradual underflow.
+ */
+#include "fp/float32.hh"
+
+#include <bit>
+
+namespace rayflex::fp
+{
+
+namespace
+{
+
+/** Propagate a NaN operand, quieting it; prefers the first NaN operand. */
+F32
+propagateNaN(F32 a, F32 b)
+{
+    if (isNaNF32(a))
+        return quietNaNF32(a);
+    if (isNaNF32(b))
+        return quietNaNF32(b);
+    return kDefaultNaN;
+}
+
+/**
+ * Decode a finite nonzero operand into an effective exponent and a 24-bit
+ * significand. Subnormals use effective exponent 1 with no hidden bit, so
+ * value == sig * 2^(exp - 150) uniformly.
+ */
+struct Unpacked
+{
+    int32_t exp;
+    uint32_t sig; // <= 0xFFFFFF
+};
+
+Unpacked
+unpackFinite(F32 v)
+{
+    uint32_t e = expF32(v);
+    uint32_t f = fracF32(v);
+    if (e == 0)
+        return {1, f};
+    return {static_cast<int32_t>(e), f | 0x800000u};
+}
+
+} // namespace
+
+F32
+roundPackF32(bool sign, int32_t exp, uint32_t sig)
+{
+    constexpr uint32_t round_increment = 0x40; // RNE
+    uint32_t round_bits = sig & 0x7F;
+
+    if (exp >= 0xFD) {
+        if (exp > 0xFD ||
+            (exp == 0xFD && sig + round_increment >= 0x80000000u)) {
+            // Overflow: RNE rounds to infinity.
+            return packF32(sign, 0xFF, 0);
+        }
+    } else if (exp < 0) {
+        // Gradual underflow: denormalize with a sticky shift, then round
+        // at the subnormal precision.
+        sig = shiftRightJam32(sig, static_cast<uint32_t>(-exp));
+        exp = 0;
+        round_bits = sig & 0x7F;
+    }
+
+    sig = (sig + round_increment) >> 7;
+    if (round_bits == 0x40)
+        sig &= ~1u; // ties to even
+    if (sig == 0)
+        exp = 0;
+    // Packing adds exp<<23 to a significand whose hidden bit sits at bit
+    // 23, so a carry out of rounding bumps the exponent automatically.
+    return (static_cast<uint32_t>(sign) << 31) +
+           (static_cast<uint32_t>(exp) << 23) + sig;
+}
+
+namespace
+{
+
+/**
+ * Add magnitudes of two finite values with equal signs.
+ * Significands are scaled by 2^6 so that roundPackF32 sees its seven
+ * rounding bits after a possible 1-bit normalization.
+ */
+F32
+addMags(bool sign, Unpacked a, Unpacked b)
+{
+    // Guard-extended significands: hidden bit (if any) lands at bit 29.
+    uint64_t sig_a = static_cast<uint64_t>(a.sig) << 6;
+    uint64_t sig_b = static_cast<uint64_t>(b.sig) << 6;
+    int32_t exp;
+    if (a.exp >= b.exp) {
+        exp = a.exp;
+        sig_b = shiftRightJam64(sig_b,
+                                static_cast<uint32_t>(a.exp - b.exp));
+    } else {
+        exp = b.exp;
+        sig_a = shiftRightJam64(sig_a,
+                                static_cast<uint32_t>(b.exp - a.exp));
+    }
+    uint64_t sig = sig_a + sig_b; // at most bit 30
+    if (sig == 0)
+        return packF32(sign, 0, 0);
+    // Normalize the leading 1 to bit 30.
+    int lead = 63 - std::countl_zero(sig);
+    if (lead > 30) {
+        uint32_t low = static_cast<uint32_t>(sig) &
+                       ((1u << (lead - 30)) - 1u);
+        sig = (sig >> (lead - 30)) | (low != 0 ? 1u : 0u);
+        exp += lead - 30;
+    } else if (lead < 30) {
+        sig <<= (30 - lead);
+        exp -= (30 - lead);
+    }
+    return roundPackF32(sign, exp, static_cast<uint32_t>(sig));
+}
+
+/**
+ * Subtract magnitudes (|a| - |b| conceptually); result_sign applies when
+ * |a| > |b| and flips when |b| > |a|. Exact zero returns +0 (RNE rule).
+ */
+F32
+subMags(bool sign_a, Unpacked a, Unpacked b)
+{
+    // Extra 3 guard bits beyond addMags so that a jammed sticky bit sits
+    // strictly below every rounding decision even after a 1-bit
+    // post-cancellation normalization.
+    uint64_t sig_a = static_cast<uint64_t>(a.sig) << 9;
+    uint64_t sig_b = static_cast<uint64_t>(b.sig) << 9;
+    int32_t exp;
+    bool sign;
+    uint64_t big, small;
+    if (a.exp > b.exp || (a.exp == b.exp && sig_a >= sig_b)) {
+        exp = a.exp;
+        sign = sign_a;
+        big = sig_a;
+        small = shiftRightJam64(sig_b, static_cast<uint32_t>(a.exp - b.exp));
+    } else {
+        exp = b.exp;
+        sign = !sign_a;
+        big = sig_b;
+        small = shiftRightJam64(sig_a, static_cast<uint32_t>(b.exp - a.exp));
+    }
+    uint64_t sig = big - small;
+    if (sig == 0)
+        return kPosZero; // exact cancellation: +0 under RNE
+    int lead = 63 - std::countl_zero(sig);
+    // Scale so the leading 1 reaches bit 33 (= 30 + 3 extra guards), then
+    // drop the 3 extra guard bits with a sticky shift.
+    if (lead > 33) {
+        uint32_t shift = static_cast<uint32_t>(lead - 33);
+        uint64_t low = sig & ((uint64_t(1) << shift) - 1u);
+        sig = (sig >> shift) | (low != 0 ? 1u : 0u);
+        exp += lead - 33;
+    } else if (lead < 33) {
+        sig <<= (33 - lead);
+        exp -= (33 - lead);
+    }
+    uint32_t low3 = static_cast<uint32_t>(sig) & 0x7u;
+    uint32_t sig30 = static_cast<uint32_t>(sig >> 3) | (low3 != 0 ? 1u : 0u);
+    return roundPackF32(sign, exp, sig30);
+}
+
+} // namespace
+
+F32
+addF32(F32 a, F32 b)
+{
+    bool sign_a = signF32(a);
+    bool sign_b = signF32(b);
+
+    if (expF32(a) == 0xFF) {
+        if (fracF32(a) != 0 || isNaNF32(b))
+            return propagateNaN(a, b);
+        if (isInfF32(b) && sign_a != sign_b)
+            return kDefaultNaN; // inf - inf
+        return a;
+    }
+    if (expF32(b) == 0xFF) {
+        if (fracF32(b) != 0)
+            return propagateNaN(a, b);
+        return b;
+    }
+    if (isZeroF32(a) && isZeroF32(b)) {
+        // (+0)+(+0)=+0, (-0)+(-0)=-0, mixed = +0 under RNE.
+        return (sign_a && sign_b) ? kNegZero : kPosZero;
+    }
+    if (isZeroF32(a))
+        return b;
+    if (isZeroF32(b))
+        return a;
+
+    Unpacked ua = unpackFinite(a);
+    Unpacked ub = unpackFinite(b);
+    if (sign_a == sign_b)
+        return addMags(sign_a, ua, ub);
+    return subMags(sign_a, ua, ub);
+}
+
+F32
+subF32(F32 a, F32 b)
+{
+    if (isNaNF32(b))
+        return propagateNaN(a, b);
+    return addF32(a, b ^ 0x80000000u);
+}
+
+F32
+mulF32(F32 a, F32 b)
+{
+    bool sign = signF32(a) != signF32(b);
+
+    if (expF32(a) == 0xFF) {
+        if (fracF32(a) != 0 || isNaNF32(b))
+            return propagateNaN(a, b);
+        if (isZeroF32(b))
+            return kDefaultNaN; // inf * 0
+        return packF32(sign, 0xFF, 0);
+    }
+    if (expF32(b) == 0xFF) {
+        if (fracF32(b) != 0)
+            return propagateNaN(a, b);
+        if (isZeroF32(a))
+            return kDefaultNaN; // 0 * inf
+        return packF32(sign, 0xFF, 0);
+    }
+    if (isZeroF32(a) || isZeroF32(b))
+        return packF32(sign, 0, 0);
+
+    Unpacked ua = unpackFinite(a);
+    Unpacked ub = unpackFinite(b);
+    // Normalize subnormal significands so the leading 1 is at bit 23.
+    while (ua.sig < 0x800000u) {
+        ua.sig <<= 1;
+        ua.exp -= 1;
+    }
+    while (ub.sig < 0x800000u) {
+        ub.sig <<= 1;
+        ub.exp -= 1;
+    }
+
+    // Product of two 24-bit significands: leading 1 at bit 46 or 47.
+    uint64_t prod = static_cast<uint64_t>(ua.sig) * ub.sig;
+    int32_t exp = ua.exp + ub.exp - 127;
+    // Bring the leading 1 to bit 30 with a sticky shift (from 47), or to
+    // bit 29 then renormalize (from 46).
+    uint32_t low = static_cast<uint32_t>(prod) & 0x1FFFFu;
+    uint32_t sig = static_cast<uint32_t>(prod >> 17) | (low != 0 ? 1u : 0u);
+    if ((sig & 0x40000000u) == 0) {
+        sig <<= 1;
+        exp -= 1;
+    }
+    return roundPackF32(sign, exp, sig);
+}
+
+F32
+divF32(F32 a, F32 b)
+{
+    bool sign = signF32(a) != signF32(b);
+
+    if (expF32(a) == 0xFF) {
+        if (fracF32(a) != 0 || isNaNF32(b))
+            return propagateNaN(a, b);
+        if (isInfF32(b))
+            return kDefaultNaN; // inf / inf
+        return packF32(sign, 0xFF, 0);
+    }
+    if (expF32(b) == 0xFF) {
+        if (fracF32(b) != 0)
+            return propagateNaN(a, b);
+        return packF32(sign, 0, 0); // finite / inf
+    }
+    if (isZeroF32(b)) {
+        if (isZeroF32(a))
+            return kDefaultNaN; // 0 / 0
+        return packF32(sign, 0xFF, 0); // x / 0 = inf
+    }
+    if (isZeroF32(a))
+        return packF32(sign, 0, 0);
+
+    Unpacked ua = unpackFinite(a);
+    Unpacked ub = unpackFinite(b);
+    while (ua.sig < 0x800000u) {
+        ua.sig <<= 1;
+        ua.exp -= 1;
+    }
+    while (ub.sig < 0x800000u) {
+        ub.sig <<= 1;
+        ub.exp -= 1;
+    }
+
+    int32_t exp = ua.exp - ub.exp + 125;
+    // 24-bit / 24-bit -> quotient with leading 1 at bit 30 or 31 when the
+    // dividend significand is pre-scaled by 2^31.
+    uint64_t dividend = static_cast<uint64_t>(ua.sig) << 31;
+    uint64_t divisor = ub.sig;
+    uint32_t quot = static_cast<uint32_t>(dividend / divisor);
+    uint64_t rem = dividend % divisor;
+    if (quot & 0x80000000u) {
+        // Leading 1 at bit 31: fold the dropped bit into sticky.
+        quot = (quot >> 1) | (quot & 1u) | (rem != 0 ? 1u : 0u);
+        exp += 1;
+    } else if (rem != 0) {
+        quot |= 1u;
+    }
+    return roundPackF32(sign, exp, quot);
+}
+
+Cmp
+compareF32(F32 a, F32 b)
+{
+    if (isNaNF32(a) || isNaNF32(b))
+        return Cmp::UN;
+    if (isZeroF32(a) && isZeroF32(b))
+        return Cmp::EQ;
+    bool sign_a = signF32(a);
+    bool sign_b = signF32(b);
+    if (sign_a != sign_b)
+        return sign_a ? Cmp::LT : Cmp::GT;
+    if (a == b)
+        return Cmp::EQ;
+    // Same sign: magnitude order on the bit pattern, inverted for
+    // negatives.
+    bool mag_lt = (a & 0x7FFFFFFFu) < (b & 0x7FFFFFFFu);
+    return (mag_lt != sign_a) ? Cmp::LT : Cmp::GT;
+}
+
+F32
+maxPropF32(F32 a, F32 b)
+{
+    Cmp c = compareF32(a, b);
+    if (c == Cmp::UN)
+        return kDefaultNaN;
+    return c == Cmp::LT ? b : a;
+}
+
+F32
+minPropF32(F32 a, F32 b)
+{
+    Cmp c = compareF32(a, b);
+    if (c == Cmp::UN)
+        return kDefaultNaN;
+    return c == Cmp::GT ? b : a;
+}
+
+F32
+max4PropF32(F32 a, F32 b, F32 c, F32 d)
+{
+    return maxPropF32(maxPropF32(a, b), maxPropF32(c, d));
+}
+
+F32
+min4PropF32(F32 a, F32 b, F32 c, F32 d)
+{
+    return minPropF32(minPropF32(a, b), minPropF32(c, d));
+}
+
+} // namespace rayflex::fp

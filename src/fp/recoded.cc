@@ -1,0 +1,69 @@
+/**
+ * @file
+ * FP32 <-> 33-bit recoded format converters (pipeline stages 1 and 11).
+ */
+#include "fp/recoded.hh"
+
+#include <bit>
+
+namespace rayflex::fp
+{
+
+Rec32
+recode(F32 v)
+{
+    bool sign = signF32(v);
+    uint32_t e = expF32(v);
+    uint32_t f = fracF32(v);
+
+    if (e == 0xFF) {
+        if (f != 0)
+            return packRec(sign, kRecExpNaN, f); // keep NaN payload
+        return packRec(sign, kRecExpInf, 0);
+    }
+    if (e == 0 && f == 0)
+        return packRec(sign, kRecExpZero, 0);
+
+    int32_t true_exp;
+    uint32_t frac;
+    if (e != 0) {
+        true_exp = static_cast<int32_t>(e) - 127;
+        frac = f;
+    } else {
+        // Subnormal: normalize. The leading 1 moves to the hidden
+        // position; the true exponent absorbs the shift.
+        int lead = 31 - std::countl_zero(f); // 0..22
+        int shift = 23 - lead;
+        true_exp = -126 - shift;
+        frac = (f << shift) & 0x7FFFFFu;
+    }
+    return packRec(sign, static_cast<uint32_t>(true_exp + kRecExpBias),
+                   frac);
+}
+
+F32
+decode(Rec32 v)
+{
+    bool sign = signRec(v);
+    uint32_t e = expRec(v);
+    uint32_t f = fracRec(v);
+
+    if (e == kRecExpNaN)
+        return packF32(sign, 0xFF, f != 0 ? f : 0x400000u);
+    if (e == kRecExpInf)
+        return packF32(sign, 0xFF, 0);
+    if (e == kRecExpZero)
+        return packF32(sign, 0, 0);
+
+    int32_t true_exp = static_cast<int32_t>(e) - kRecExpBias;
+    if (true_exp >= -126) {
+        return packF32(sign, static_cast<uint32_t>(true_exp + 127), f);
+    }
+    // Subnormal range: shift the hidden 1 back into the fraction. The
+    // recoding is lossless, so the shift drops only zero bits.
+    int shift = -126 - true_exp; // 1..23
+    uint32_t sig = (0x800000u | f) >> shift;
+    return packF32(sign, 0, sig);
+}
+
+} // namespace rayflex::fp

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The 33-bit recoded floating-point format used inside the RayFlex
+ * pipeline (Section III-F of the paper).
+ *
+ * RayFlex's IO takes standard FP32 but internally represents values in a
+ * recoded format with one extra exponent bit, in the style of Berkeley
+ * Hardfloat. Recoding removes the subnormal special case from the
+ * arithmetic units: every finite nonzero value carries an always-
+ * normalized 23-bit fraction and a 9-bit exponent wide enough to express
+ * normalized subnormals. Stage 1 of the pipeline converts FP32 -> rec33
+ * and stage 11 converts back.
+ *
+ * Layout (33 bits): sign[32] | exp[31:23] (9 bits) | frac[22:0].
+ *
+ * Exponent codes:
+ *   0x000         zero
+ *   0x06B..0x17F  finite nonzero: code = trueExp + 0x100, where trueExp is
+ *                 the unbiased exponent of the normalized value
+ *                 (range -149 .. +127)
+ *   0x180         infinity
+ *   0x1C0         NaN (fraction keeps the payload)
+ *
+ * Because the fraction is always normalized and the exponent code is
+ * monotonic in value, finite comparison reduces to an integer compare of
+ * the (exp,frac) pair - the circuit simplification recoding exists for.
+ */
+#ifndef RAYFLEX_FP_RECODED_HH
+#define RAYFLEX_FP_RECODED_HH
+
+#include <cstdint>
+
+#include "fp/float32.hh"
+
+namespace rayflex::fp
+{
+
+/** A value in the 33-bit recoded format. Bits above 32 are always zero. */
+struct Rec32
+{
+    uint64_t bits = 0;
+
+    friend bool operator==(const Rec32 &a, const Rec32 &b) = default;
+};
+
+/** Number of live bits in a recoded value; used by the synthesis model. */
+inline constexpr unsigned kRec32Width = 33;
+
+/** Exponent code for zero. */
+inline constexpr uint32_t kRecExpZero = 0x000;
+/** Exponent code for infinity. */
+inline constexpr uint32_t kRecExpInf = 0x180;
+/** Exponent code for NaN. */
+inline constexpr uint32_t kRecExpNaN = 0x1C0;
+/** Bias added to the true exponent of finite nonzero values. */
+inline constexpr int32_t kRecExpBias = 0x100;
+
+/** Extract the sign bit of a recoded value. */
+inline constexpr bool signRec(Rec32 v) { return ((v.bits >> 32) & 1) != 0; }
+/** Extract the 9-bit exponent code. */
+inline constexpr uint32_t expRec(Rec32 v)
+{
+    return static_cast<uint32_t>((v.bits >> 23) & 0x1FFu);
+}
+/** Extract the 23-bit fraction. */
+inline constexpr uint32_t fracRec(Rec32 v)
+{
+    return static_cast<uint32_t>(v.bits & 0x7FFFFFu);
+}
+
+/** Assemble a recoded value from fields. */
+inline constexpr Rec32
+packRec(bool sign, uint32_t exp, uint32_t frac)
+{
+    return Rec32{(static_cast<uint64_t>(sign) << 32) |
+                 (static_cast<uint64_t>(exp & 0x1FFu) << 23) |
+                 (frac & 0x7FFFFFu)};
+}
+
+/** True when the recoded value is NaN. */
+inline constexpr bool isNaNRec(Rec32 v) { return expRec(v) == kRecExpNaN; }
+/** True when the recoded value is +/- infinity. */
+inline constexpr bool isInfRec(Rec32 v) { return expRec(v) == kRecExpInf; }
+/** True when the recoded value is +/- zero. */
+inline constexpr bool isZeroRec(Rec32 v) { return expRec(v) == kRecExpZero; }
+
+/**
+ * Recode a standard binary32 into the internal 33-bit format
+ * (the stage-1 format converter).
+ */
+Rec32 recode(F32 v);
+
+/**
+ * Convert a recoded value back to standard binary32
+ * (the stage-11 format converter). Exact inverse of recode().
+ */
+F32 decode(Rec32 v);
+
+/** Recoded addition: rounds to binary32 precision after the operation. */
+inline Rec32 addRec(Rec32 a, Rec32 b)
+{
+    return recode(addF32(decode(a), decode(b)));
+}
+
+/** Recoded subtraction with per-operation rounding. */
+inline Rec32 subRec(Rec32 a, Rec32 b)
+{
+    return recode(subF32(decode(a), decode(b)));
+}
+
+/** Recoded multiplication with per-operation rounding. */
+inline Rec32 mulRec(Rec32 a, Rec32 b)
+{
+    return recode(mulF32(decode(a), decode(b)));
+}
+
+/** Recoded comparison with hardware NaN semantics. */
+inline Cmp compareRec(Rec32 a, Rec32 b)
+{
+    return compareF32(decode(a), decode(b));
+}
+
+/** a < b on recoded values, false if unordered. */
+inline bool ltRec(Rec32 a, Rec32 b) { return compareRec(a, b) == Cmp::LT; }
+/** a <= b on recoded values, false if unordered. */
+inline bool
+leRec(Rec32 a, Rec32 b)
+{
+    Cmp c = compareRec(a, b);
+    return c == Cmp::LT || c == Cmp::EQ;
+}
+/** a > b on recoded values, false if unordered. */
+inline bool gtRec(Rec32 a, Rec32 b) { return compareRec(a, b) == Cmp::GT; }
+/** a >= b on recoded values, false if unordered. */
+inline bool
+geRec(Rec32 a, Rec32 b)
+{
+    Cmp c = compareRec(a, b);
+    return c == Cmp::GT || c == Cmp::EQ;
+}
+
+/** NaN-propagating two-input max on recoded values. */
+inline Rec32 maxPropRec(Rec32 a, Rec32 b)
+{
+    return recode(maxPropF32(decode(a), decode(b)));
+}
+
+/** NaN-propagating two-input min on recoded values. */
+inline Rec32 minPropRec(Rec32 a, Rec32 b)
+{
+    return recode(minPropF32(decode(a), decode(b)));
+}
+
+/** Recoded positive zero. */
+inline Rec32 recZero() { return packRec(false, kRecExpZero, 0); }
+/** Recoded positive infinity. */
+inline Rec32 recPosInf() { return packRec(false, kRecExpInf, 0); }
+/** Recoded canonical NaN. */
+inline Rec32 recNaN() { return packRec(false, kRecExpNaN, 0x400000u); }
+
+} // namespace rayflex::fp
+
+#endif // RAYFLEX_FP_RECODED_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Valid-ready ("two-phase bundled data") handshake port.
+ *
+ * RayFlex's pipeline stages exchange data using the valid-ready protocol
+ * (Section III-C): the producer drives valid and bits, the consumer drives
+ * ready, and a beat transfers ("fires") on a cycle where both are high.
+ * In this model a Decoupled<T> object is the wire bundle between two
+ * components; each side writes only the signals it owns.
+ */
+#ifndef RAYFLEX_PIPELINE_DECOUPLED_HH
+#define RAYFLEX_PIPELINE_DECOUPLED_HH
+
+namespace rayflex::pipeline
+{
+
+/**
+ * A valid-ready port carrying payload type T.
+ *
+ * Ownership convention: the producer writes valid and bits during the
+ * publish phase; the consumer writes ready during the publish phase; both
+ * may read every signal during the advance phase.
+ */
+template <typename T>
+struct Decoupled
+{
+    bool valid = false; ///< driven by producer
+    bool ready = false; ///< driven by consumer
+    T bits{};           ///< driven by producer
+
+    /** True when a beat transfers this cycle. */
+    bool fire() const { return valid && ready; }
+};
+
+} // namespace rayflex::pipeline
+
+#endif // RAYFLEX_PIPELINE_DECOUPLED_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Test-bench drivers: stimulus sources and collecting sinks.
+ *
+ * These play the role of the chiseltest harness in the paper's
+ * methodology: a Source pushes beats into the first pipeline stage
+ * (optionally with a programmable valid pattern to create bubbles) and a
+ * Sink drains the last stage (optionally with a programmable ready
+ * pattern to create back-pressure), recording every delivered beat and
+ * its arrival cycle.
+ */
+#ifndef RAYFLEX_PIPELINE_DRIVERS_HH
+#define RAYFLEX_PIPELINE_DRIVERS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "pipeline/component.hh"
+#include "pipeline/decoupled.hh"
+
+namespace rayflex::pipeline
+{
+
+/** Cycle-indexed boolean pattern; defaults to always-true. */
+using CyclePattern = std::function<bool(uint64_t)>;
+
+/** Always-asserted pattern. */
+inline CyclePattern
+alwaysOn()
+{
+    return [](uint64_t) { return true; };
+}
+
+/**
+ * Stimulus source driving a Decoupled<T> port. Presents queued beats in
+ * order; a beat is offered only on cycles where the valid pattern allows,
+ * and is retired when the consumer accepts it.
+ */
+template <typename T>
+class Source : public Component
+{
+  public:
+    /**
+     * @param name     Instance name.
+     * @param port     The consumer's input port to drive.
+     * @param pattern  Valid gating pattern (bubbles when false).
+     */
+    Source(std::string name, Decoupled<T> *port,
+           CyclePattern pattern = alwaysOn())
+        : Component(std::move(name)), port_(port),
+          pattern_(std::move(pattern))
+    {}
+
+    /** Append one beat to the stimulus queue. */
+    void push(const T &v) { queue_.push_back(v); }
+
+    /** Append a batch of beats to the stimulus queue. */
+    void
+    pushAll(const std::vector<T> &vs)
+    {
+        for (const T &v : vs)
+            queue_.push_back(v);
+    }
+
+    /** Beats not yet accepted by the consumer. */
+    size_t pending() const { return queue_.size(); }
+
+    /** Total beats accepted by the consumer. */
+    uint64_t sent() const { return sent_; }
+
+    void
+    publish(uint64_t cycle) override
+    {
+        port_->valid = !queue_.empty() && pattern_(cycle);
+        if (port_->valid)
+            port_->bits = queue_.front();
+    }
+
+    void
+    advance(uint64_t) override
+    {
+        if (port_->valid && port_->ready) {
+            queue_.pop_front();
+            ++sent_;
+        }
+    }
+
+  private:
+    Decoupled<T> *port_;
+    CyclePattern pattern_;
+    std::deque<T> queue_;
+    uint64_t sent_ = 0;
+};
+
+/**
+ * Collecting sink draining a Decoupled<T> port. Ready is asserted on
+ * cycles where the pattern allows (back-pressure when false). Every
+ * received beat is recorded together with its arrival cycle.
+ */
+template <typename T>
+class Sink : public Component
+{
+  public:
+    Sink(std::string name, Decoupled<T> *port,
+         CyclePattern pattern = alwaysOn())
+        : Component(std::move(name)), port_(port),
+          pattern_(std::move(pattern))
+    {}
+
+    /** Beats received so far, in arrival order. */
+    const std::vector<T> &received() const { return received_; }
+
+    /** Arrival cycle of each received beat (parallel to received()). */
+    const std::vector<uint64_t> &arrivalCycles() const { return cycles_; }
+
+    /** Number of beats received. */
+    size_t count() const { return received_.size(); }
+
+    void
+    publish(uint64_t cycle) override
+    {
+        port_->ready = pattern_(cycle);
+    }
+
+    void
+    advance(uint64_t cycle) override
+    {
+        if (port_->valid && port_->ready) {
+            received_.push_back(port_->bits);
+            cycles_.push_back(cycle);
+        }
+    }
+
+  private:
+    Decoupled<T> *port_;
+    CyclePattern pattern_;
+    std::vector<T> received_;
+    std::vector<uint64_t> cycles_;
+};
+
+} // namespace rayflex::pipeline
+
+#endif // RAYFLEX_PIPELINE_DRIVERS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Area model implementation.
+ */
+#include "synth/area.hh"
+
+#include <algorithm>
+
+namespace rayflex::synth
+{
+
+AreaReport
+AreaModel::estimate(const Netlist &n, double clock_ghz) const
+{
+    const AreaLibrary &a = lib_.area;
+    const TechLibrary &t = lib_.tech;
+
+    FuCounts fu = n.totalFus();
+    // The Section III-F ablation removes the per-unit rounding circuit.
+    double add_area = a.adder;
+    double mul_area = a.multiplier;
+    double sq_area = a.squarer;
+    if (n.cfg.skip_intermediate_rounding) {
+        add_area *= 1.0 - a.rounding_frac_adder;
+        mul_area *= 1.0 - a.rounding_frac_multiplier;
+        sq_area *= 1.0 - a.rounding_frac_multiplier;
+    }
+    double logic = fu.adders * add_area + fu.multipliers * mul_area +
+                   fu.squarers * sq_area +
+                   fu.comparators * a.comparator +
+                   fu.sort_cmps * a.comparator +
+                   fu.converters * a.converter +
+                   n.totalRouteLegs() * a.route_leg;
+
+    // Mild combinational upsizing above the easy timing corner.
+    double over = std::max(0.0, clock_ghz - t.easy_corner_ghz);
+    logic *= 1.0 + t.logic_area_slope_per_ghz * over;
+
+    double sequential = double(n.totalSequentialBits()) * a.flop_bit;
+
+    double base = logic + sequential;
+    double buffer =
+        base * (t.buffer_frac_base + t.buffer_frac_slope_per_ghz * over);
+    double inverter = base * t.inverter_frac;
+
+    return {sequential, logic, buffer, inverter};
+}
+
+} // namespace rayflex::synth

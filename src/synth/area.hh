@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Area model: the Fig. 7 experiment.
+ *
+ * Decomposes circuit area into the four categories of the Genus report
+ * the paper uses - sequential, inverter, buffer and logic - as a
+ * function of the netlist and the target clock frequency. Area shows
+ * only mild sensitivity to the clock target in the paper's 500-1500 MHz
+ * range; the model reflects that with a small upsizing slope on
+ * combinational area and a buffer fraction that grows with frequency.
+ */
+#ifndef RAYFLEX_SYNTH_AREA_HH
+#define RAYFLEX_SYNTH_AREA_HH
+
+#include "synth/cells.hh"
+#include "synth/netlist.hh"
+
+namespace rayflex::synth
+{
+
+/** Circuit area decomposed the way the Genus report does (um^2). */
+struct AreaReport
+{
+    double sequential = 0; ///< flip-flops
+    double logic = 0;      ///< functional units, routing, converters
+    double buffer = 0;     ///< clock/data buffering
+    double inverter = 0;
+
+    double
+    total() const
+    {
+        return sequential + logic + buffer + inverter;
+    }
+};
+
+/** Area estimator for a given cell library. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const CellLibrary &lib = CellLibrary::nangate15())
+        : lib_(lib)
+    {}
+
+    /**
+     * Estimate the synthesized area of a netlist at a target clock.
+     * @param n         The structural netlist.
+     * @param clock_ghz Target clock frequency in GHz (0.5 - 1.5 in the
+     *                  paper's sweep).
+     */
+    AreaReport estimate(const Netlist &n, double clock_ghz) const;
+
+  private:
+    const CellLibrary &lib_;
+};
+
+} // namespace rayflex::synth
+
+#endif // RAYFLEX_SYNTH_AREA_HH

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Default calibrated cell library instance.
+ */
+#include "synth/cells.hh"
+
+namespace rayflex::synth
+{
+
+const CellLibrary &
+CellLibrary::nangate15()
+{
+    static const CellLibrary lib{};
+    return lib;
+}
+
+} // namespace rayflex::synth

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Calibrated 15 nm cell cost tables.
+ *
+ * The paper synthesizes RayFlex with Cadence Genus on the open 15 nm
+ * FreePDK cell library and reports area/power from Genus reports driven
+ * by VCD stimulus. Neither the tool nor the PDK is available here, so
+ * this module provides the substitution: per-component area and energy
+ * constants calibrated so that the *relative* results of the paper's
+ * evaluation (Figures 7-9) emerge from the structural netlist model in
+ * synth/netlist.hh. Absolute numbers are representative of a 15 nm
+ * process but are not the paper's (which are themselves only shown as
+ * figures).
+ *
+ * Calibration anchors (see EXPERIMENTS.md for the measured outcome):
+ *  - FP32 adder ~600 um^2 and multiplier ~3.3x an adder, comparator tiny;
+ *  - flip-flop ~4 um^2/bit;
+ *  - dynamic energy dominated by multipliers; squarers cost ~2/3 of a
+ *    general multiplier's energy and ~90% of its area;
+ *  - static power roughly an order of magnitude below dynamic at 1 GHz.
+ */
+#ifndef RAYFLEX_SYNTH_CELLS_HH
+#define RAYFLEX_SYNTH_CELLS_HH
+
+namespace rayflex::synth
+{
+
+/** Area costs in um^2 (15 nm class). */
+struct AreaLibrary
+{
+    double adder = 600.0;      ///< FP32 adder/subtractor
+    double multiplier = 2000.0; ///< FP32 multiplier
+    double squarer = 1800.0;   ///< multiplier specialized to y = a*a
+    double comparator = 30.0;  ///< FP comparator (+ select mux)
+    double converter = 480.0;  ///< FP32 <-> rec33 format converter
+    /**
+     * Operand routing per "leg": one operation's use of one functional
+     * unit, covering the input gating mux (the zero-feed described in
+     * Section VII-B), operand steering from the SRFDS and result
+     * write-back selection for a 33-bit bundle pair.
+     */
+    double route_leg = 325.0;
+    double flop_bit = 4.1; ///< one register bit
+
+    /** Fraction of an adder/multiplier occupied by its rounding circuit
+     *  (Section III-F: "the rounding circuit is not trivial and adds to
+     *  the overall area/power"); removed when a configuration forgoes
+     *  intermediate rounding. */
+    double rounding_frac_adder = 0.18;
+    double rounding_frac_multiplier = 0.10;
+};
+
+/** Dynamic energy costs in pJ per activation (nominal 1 GHz corner). */
+struct EnergyLibrary
+{
+    double adder = 0.42;
+    double multiplier = 1.20;
+    double squarer = 0.72; ///< the Section VII-B specialization saving
+    double comparator = 0.05;
+    double converter = 0.20;
+    double route_leg = 0.020; ///< steering/gating toggle per active leg
+    double flop_bit = 0.00104; ///< per clocked register bit per cycle
+
+    /** Energy fraction of the rounding circuit in adders/multipliers. */
+    double rounding_frac_adder = 0.15;
+    double rounding_frac_multiplier = 0.08;
+};
+
+/** Technology-level scaling behaviour. */
+struct TechLibrary
+{
+    /** Static power density, W per um^2 (an order of magnitude below
+     *  dynamic power at 1 GHz for this design size). */
+    double static_power_per_um2 = 0.65e-8;
+    /**
+     * Relative combinational-area growth per GHz above the easy corner:
+     * the paper observes little area sensitivity over 500-1500 MHz, so
+     * this slope is small.
+     */
+    double logic_area_slope_per_ghz = 0.04;
+    double easy_corner_ghz = 0.5; ///< below this, no upsizing needed
+    /** Buffer-tree area fraction of (logic+sequential) at the easy
+     *  corner, and its growth per GHz. */
+    double buffer_frac_base = 0.045;
+    double buffer_frac_slope_per_ghz = 0.02;
+    /** Inverter area fraction of (logic+sequential). */
+    double inverter_frac = 0.025;
+    /** Relative dynamic-energy growth per GHz above the easy corner
+     *  (stronger drive cells at aggressive clock targets). */
+    double energy_slope_per_ghz = 0.03;
+};
+
+/** The complete calibrated library. */
+struct CellLibrary
+{
+    AreaLibrary area;
+    EnergyLibrary energy;
+    TechLibrary tech;
+
+    /** The default 15 nm-class library used by all experiments. */
+    static const CellLibrary &nangate15();
+};
+
+} // namespace rayflex::synth
+
+#endif // RAYFLEX_SYNTH_CELLS_HH

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Netlist enumeration tables and construction.
+ *
+ * The per-operation functional-unit usage tables transcribe Fig. 4c and
+ * Fig. 6c of the paper; the liveness tables transcribe the dataflow of
+ * Figures 4a/4b/6a/6b (each field is alive from the stage that produces
+ * it until the last stage that reads it). Ray-box beats additionally
+ * carry the four 32-bit child pointers, and ray-triangle beats the
+ * 32-bit triangle ID, that the RDNA3 instruction returns.
+ */
+#include "synth/netlist.hh"
+
+#include <algorithm>
+
+#include "core/quadsort.hh"
+
+namespace rayflex::synth
+{
+
+namespace
+{
+
+constexpr size_t kOps = kNumOpcodes;
+constexpr size_t kStg = kNumStages;
+
+// Adder usage per op per stage (Fig. 4c column "Ray-Box"/"Ray-Triangle",
+// Fig. 6c columns "Euclidean"/"Cosine"). Box-lane entries are for the
+// default 4-wide node; adderUsage() scales them with the configured
+// width (6 translate subtractions per box).
+constexpr unsigned kAdders[kOps][kStg] = {
+    // s1  s2  s3  s4  s5  s6  s7  s8  s9 s10 s11
+    {0, 24, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // RayBox
+    {0, 9, 0, 6, 0, 3, 0, 2, 2, 0, 0},  // RayTriangle
+    {0, 16, 0, 8, 0, 4, 0, 2, 1, 1, 0}, // Euclidean
+    {0, 0, 0, 8, 0, 4, 0, 2, 2, 0, 0},  // Cosine
+};
+
+// Multiplier usage per op per stage (box lane: 6 per box).
+constexpr unsigned kMuls[kOps][kStg] = {
+    {0, 0, 24, 0, 0, 0, 0, 0, 0, 0, 0},
+    {0, 0, 9, 0, 6, 0, 3, 0, 0, 0, 0},
+    {0, 0, 16, 0, 0, 0, 0, 0, 0, 0, 0},
+    {0, 0, 16, 0, 0, 0, 0, 0, 0, 0, 0},
+};
+
+/** Per-op adder usage scaled for the configured box width. */
+unsigned
+adderUsage(size_t op, unsigned stage, unsigned w)
+{
+    unsigned v = kAdders[op][stage];
+    if (op == size_t(Opcode::RayBox))
+        return v / 4 * w;
+    return v;
+}
+
+/** Per-op multiplier usage scaled for the configured box width. */
+unsigned
+mulUsage(size_t op, unsigned stage, unsigned w)
+{
+    unsigned v = kMuls[op][stage];
+    if (op == size_t(Opcode::RayBox))
+        return v / 4 * w;
+    return v;
+}
+
+// Of the multiplier usage above, how many feed both inputs from the same
+// wire (squarer-capable): all 16 Euclidean squares, 8 of the 16 cosine
+// multiplies.
+constexpr unsigned kSquarerCapable[kOps][kStg] = {
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {0, 0, 16, 0, 0, 0, 0, 0, 0, 0, 0},
+    {0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0},
+};
+
+// Comparator usage (slab trees + hit tests). QuadSort compare-exchange
+// units are listed separately because their network position makes them
+// unshareable with plain comparators (Fig. 4c lists them as distinct
+// stage-10 assets).
+constexpr unsigned kCmps[kOps][kStg] = {
+    {0, 0, 0, 40, 0, 0, 0, 0, 0, 0, 0}, // 10 per box at width 4
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0},
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+};
+
+/** Per-op plain-comparator usage scaled for the configured box width
+ *  (3 swap + 6 tree + 1 hit = 10 per box at stage 4). */
+unsigned
+cmpUsage(size_t op, unsigned stage, unsigned w)
+{
+    unsigned v = kCmps[op][stage];
+    if (op == size_t(Opcode::RayBox))
+        return v / 4 * w;
+    return v;
+}
+
+/** Sorting-network compare-exchange units at stage 10: two networks
+ *  sized for the configured width (2 x 5 = the paper's "2 QuadSort
+ *  Networks" at width 4). */
+unsigned
+sortUsage(size_t op, unsigned stage, unsigned w)
+{
+    if (op == size_t(Opcode::RayBox) && stage == 9)
+        return 2 * core::sortNetworkComparators(w);
+    return 0;
+}
+
+// Input format converters (stage 1): ray bundle (13 FP32: origin,
+// inverse direction, extent pair, shear) plus the op-specific payload
+// (box corners 6/box / triangle vertices 9 / euclidean vectors 32 /
+// cosine vectors 16).
+unsigned
+inConv(size_t op, unsigned w)
+{
+    switch (static_cast<Opcode>(op)) {
+      case Opcode::RayBox: return 13 + 6 * w;
+      case Opcode::RayTriangle: return 13 + 9;
+      case Opcode::Euclidean: return 32;
+      case Opcode::Cosine: return 16;
+    }
+    return 0;
+}
+
+// Output format converters (stage 11): sorted distances (1/box) /
+// t_num, t_den and barycentrics 5 / accumulator 1 / dot+norm 2.
+unsigned
+outConv(size_t op, unsigned w)
+{
+    switch (static_cast<Opcode>(op)) {
+      case Opcode::RayBox: return w;
+      case Opcode::RayTriangle: return 5;
+      case Opcode::Euclidean: return 1;
+      case Opcode::Cosine: return 2;
+    }
+    return 0;
+}
+
+// SRFDS liveness: bits of each op alive in the output register of
+// stages 1..10 (indices 0..9) after dead-node elimination, plus the
+// stage-11 output-format register (index 10). Derived from the recoded
+// field widths (33 bits) in srfds.hh plus the per-op payload the ISA
+// carries through (128-bit child pointers for boxes, 32-bit triangle
+// ID).
+constexpr unsigned kLive[kOps][kStg] = {
+    // after: s1    s2    s3   s4   s5   s6   s7   s8   s9  s10  s11(out)
+    {1184, 1085, 986, 264, 264, 264, 264, 264, 264, 272, 260}, // box w=4
+    {533, 434, 632, 329, 329, 230, 230, 230, 197, 198, 193},   // tri
+    {1088, 544, 528, 264, 264, 132, 132, 66, 33, 34, 33},      // euclid
+    {552, 552, 528, 264, 264, 132, 132, 66, 67, 67, 67},       // cosine
+};
+
+/** Bits of the box lane alive per stage boundary as a function of node
+ *  width W: corners are 6W recoded values, near/far 2W, child pointers
+ *  32W, sorted order ceil(log2 W)*W, output W hits + W pointers + W
+ *  distances. Matches kLive[0][*] at W = 4. */
+unsigned
+boxLive(unsigned stage, unsigned w)
+{
+    unsigned order_bits = 1;
+    while ((1u << order_bits) < w)
+        ++order_bits;
+    switch (stage) {
+      case 0: return 264 + 198 * w + 32 * w;  // ray + corners + ptrs
+      case 1: return 165 + 198 * w + 32 * w;  // origin dead
+      case 2: return 66 + 198 * w + 32 * w;   // inverse dir dead
+      case 9: return 33 * w + w + order_bits * w + 32 * w;
+      case 10: return w + 32 * w + 32 * w;    // output register
+      default: return 33 * w + w + 32 * w;    // near + hit + ptrs
+    }
+}
+
+/** Per-op liveness honouring the configured box width. */
+unsigned
+liveBitsW(size_t op, unsigned stage, unsigned w)
+{
+    if (op == size_t(Opcode::RayBox))
+        return boxLive(stage, w);
+    return kLive[op][stage];
+}
+
+// Architectural state (extended only): cosine dot+norm accumulators at
+// stage 9, Euclidean accumulator at stage 10 (Fig. 6c "+2 Registers" /
+// "+1 Register").
+constexpr unsigned kStateBits[kStg] = {0, 0, 0, 0, 0, 0, 0, 0, 66, 33, 0};
+
+} // namespace
+
+FuCounts &
+FuCounts::operator+=(const FuCounts &o)
+{
+    adders += o.adders;
+    multipliers += o.multipliers;
+    squarers += o.squarers;
+    comparators += o.comparators;
+    sort_cmps += o.sort_cmps;
+    converters += o.converters;
+    return *this;
+}
+
+unsigned
+liveBits(Opcode op, unsigned stage)
+{
+    return kLive[static_cast<size_t>(op)][stage];
+}
+
+unsigned
+controlBits()
+{
+    return 2 /*opcode*/ + 32 /*tag*/ + 1 /*reset*/;
+}
+
+Netlist
+Netlist::build(const DatapathConfig &cfg)
+{
+    Netlist n;
+    n.cfg = cfg;
+
+    const size_t num_ops = cfg.extended ? kOps : 2;
+
+    for (unsigned s = 0; s < kStg; ++s) {
+        StageNetlist &st = n.stages[s];
+
+        // --- per-op usage ---
+        for (size_t o = 0; o < num_ops; ++o) {
+            FuCounts &u = st.used[o];
+            u.adders = adderUsage(o, s, cfg.box_width);
+            u.comparators = cmpUsage(o, s, cfg.box_width);
+            u.sort_cmps = sortUsage(o, s, cfg.box_width);
+            if (s == 0)
+                u.converters = inConv(o, cfg.box_width);
+            if (s == kStg - 1)
+                u.converters = outConv(o, cfg.box_width);
+
+            unsigned muls = mulUsage(o, s, cfg.box_width);
+            unsigned sq = kSquarerCapable[o][s];
+            if (cfg.disjoint && !cfg.perturb_squarers) {
+                // Private units with tied inputs specialize to squarers.
+                u.squarers = sq;
+                u.multipliers = muls - sq;
+            } else {
+                // Shared (or perturbed) units stay general multipliers.
+                u.multipliers = muls;
+            }
+        }
+
+        // --- provisioning ---
+        auto provision = [&](auto pick) {
+            unsigned v = 0;
+            for (size_t o = 0; o < num_ops; ++o) {
+                unsigned u = pick(o);
+                v = cfg.disjoint ? v + u : std::max(v, u);
+            }
+            return v;
+        };
+        st.provisioned.adders = provision(
+            [&](size_t o) { return adderUsage(o, s, cfg.box_width); });
+        st.provisioned.comparators = provision(
+            [&](size_t o) { return cmpUsage(o, s, cfg.box_width); });
+        st.provisioned.sort_cmps = provision(
+            [&](size_t o) { return sortUsage(o, s, cfg.box_width); });
+        st.provisioned.converters = provision([&](size_t o) {
+            if (s == 0)
+                return inConv(o, cfg.box_width);
+            if (s == kStg - 1)
+                return outConv(o, cfg.box_width);
+            return 0u;
+        });
+        if (cfg.disjoint) {
+            unsigned gen = 0, sq = 0;
+            for (size_t o = 0; o < num_ops; ++o) {
+                unsigned muls = mulUsage(o, s, cfg.box_width);
+                unsigned cap = kSquarerCapable[o][s];
+                if (!cfg.perturb_squarers) {
+                    sq += cap;
+                    gen += muls - cap;
+                } else {
+                    gen += muls;
+                }
+            }
+            st.provisioned.multipliers = gen;
+            st.provisioned.squarers = sq;
+        } else {
+            st.provisioned.multipliers = provision(
+                [&](size_t o) { return mulUsage(o, s, cfg.box_width); });
+            st.provisioned.squarers = 0;
+        }
+
+        // --- routing legs: one per (op, unit) pair, plus the zero-gate
+        // leg of each provisioned arithmetic unit ---
+        unsigned legs = 0;
+        for (size_t o = 0; o < num_ops; ++o) {
+            legs += adderUsage(o, s, cfg.box_width) +
+                    mulUsage(o, s, cfg.box_width) +
+                    cmpUsage(o, s, cfg.box_width) +
+                    sortUsage(o, s, cfg.box_width);
+        }
+        legs += st.provisioned.adders + st.provisioned.multipliers +
+                st.provisioned.squarers + st.provisioned.comparators +
+                st.provisioned.sort_cmps;
+        st.route_legs = legs;
+
+        // --- registers: disjoint per-op fields regardless of FU
+        // sharing (Section VII-A), plus always-alive control ---
+        unsigned bits = controlBits();
+        switch (cfg.register_policy) {
+          case core::RegisterPolicy::DisjointPerOp:
+            for (size_t o = 0; o < num_ops; ++o)
+                bits += liveBitsW(o, s, cfg.box_width);
+            break;
+          case core::RegisterPolicy::SharedUnionAligned:
+            // Perfect lifetime alignment: the union register at each
+            // stage is as wide as the widest single operation's live
+            // data there.
+            {
+                unsigned mx = 0;
+                for (size_t o = 0; o < num_ops; ++o)
+                    mx = std::max(mx, liveBitsW(o, s, cfg.box_width));
+                bits += mx;
+            }
+            break;
+          case core::RegisterPolicy::SharedUnionWorstCase:
+            // Pessimal alignment: no operation's fields overlap any
+            // other's, so the union is as wide as the sum of each
+            // operation's widest layout - and with some op keeping each
+            // bit alive somewhere, dead-node elimination removes
+            // nothing: the full width is registered at every stage
+            // (the worst case of Section VII-A).
+            {
+                unsigned width_sum = 0;
+                for (size_t o = 0; o < num_ops; ++o) {
+                    unsigned mx = 0;
+                    for (unsigned s2 = 0; s2 < kStg; ++s2)
+                        mx = std::max(mx,
+                                      liveBitsW(o, s2, cfg.box_width));
+                    width_sum += mx;
+                }
+                bits += width_sum;
+            }
+            break;
+        }
+        st.reg_bits = bits;
+        st.state_bits = cfg.extended ? kStateBits[s] : 0;
+    }
+    return n;
+}
+
+FuCounts
+Netlist::totalFus() const
+{
+    FuCounts t;
+    for (const auto &s : stages)
+        t += s.provisioned;
+    return t;
+}
+
+unsigned
+Netlist::totalRouteLegs() const
+{
+    unsigned t = 0;
+    for (const auto &s : stages)
+        t += s.route_legs;
+    return t;
+}
+
+uint64_t
+Netlist::totalSequentialBits() const
+{
+    uint64_t t = 0;
+    for (const auto &s : stages)
+        t += uint64_t(s.reg_bits) * kSkidDepth + s.state_bits;
+    return t;
+}
+
+FuCounts
+Netlist::usedBy(Opcode op) const
+{
+    FuCounts t;
+    for (const auto &s : stages)
+        t += s.used[static_cast<size_t>(op)];
+    return t;
+}
+
+unsigned
+Netlist::routeLegsUsedBy(Opcode op) const
+{
+    unsigned t = 0;
+    const size_t o = static_cast<size_t>(op);
+    for (unsigned s = 0; s < kNumStages; ++s) {
+        t += adderUsage(o, s, cfg.box_width) +
+             mulUsage(o, s, cfg.box_width) +
+             cmpUsage(o, s, cfg.box_width) +
+             sortUsage(o, s, cfg.box_width);
+    }
+    return t;
+}
+
+} // namespace rayflex::synth

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Structural netlist model of the RayFlex datapath.
+ *
+ * For a given DatapathConfig this module enumerates, per pipeline stage:
+ *
+ *  - the provisioned functional units (adders, multipliers, squarers,
+ *    comparators, sorting-network comparators, format converters),
+ *    following Fig. 4c (baseline assets) and Fig. 6c (extended assets);
+ *    a *unified* pipeline provisions the per-stage maximum across
+ *    operations, a *disjoint* design provisions the per-operation sum;
+ *  - the per-operation usage of those units (which drives dynamic
+ *    power: unused units are zero-gated);
+ *  - operand-routing "legs" (one op's use of one unit);
+ *  - the surviving register bits of the Shared RayFlex Data Structure
+ *    after dead-node elimination, from a field-liveness table - the
+ *    model analogue of what the synthesizer's dead-node elimination
+ *    leaves behind (Section III-E). RayFlex registers each operation's
+ *    fields disjointly regardless of FU sharing (Section VII-A), so
+ *    sequential cost is the sum over supported operations.
+ *
+ * Squarer specialization (Section VII-B): a provisioned multiplier
+ * becomes a squarer only when every operation mapped onto it feeds both
+ * inputs from the same wire. That happens only in the disjoint design
+ * for the Euclidean (16 units) and cosine (8 of 16) stage-3 multipliers;
+ * the perturb_squarers ablation defeats it.
+ */
+#ifndef RAYFLEX_SYNTH_NETLIST_HH
+#define RAYFLEX_SYNTH_NETLIST_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/config.hh"
+#include "core/io_spec.hh"
+
+namespace rayflex::synth
+{
+
+using core::DatapathConfig;
+using core::kNumOpcodes;
+using core::kNumStages;
+using core::Opcode;
+
+/** Functional-unit counts of one kind-set. */
+struct FuCounts
+{
+    unsigned adders = 0;
+    unsigned multipliers = 0; ///< general multipliers
+    unsigned squarers = 0;    ///< specialized y=a*a multipliers
+    unsigned comparators = 0; ///< compare + select
+    unsigned sort_cmps = 0;   ///< QuadSort network compare-exchange units
+    unsigned converters = 0;  ///< FP32 <-> rec33 converters
+
+    FuCounts &operator+=(const FuCounts &o);
+};
+
+/** Netlist of one pipeline stage. */
+struct StageNetlist
+{
+    FuCounts provisioned; ///< hardware present at this stage
+    /** Units activated per operation (for dynamic power). A squarer
+     *  activation is counted in squarers; in the unified design the
+     *  same computation runs on a general multiplier instead. */
+    std::array<FuCounts, kNumOpcodes> used{};
+    unsigned route_legs = 0; ///< operand-routing legs at this stage
+    /** Register bits surviving dead-node elimination in one copy of the
+     *  stage's output register (the skid buffer doubles this). */
+    unsigned reg_bits = 0;
+    /** Architectural state bits (distance accumulators): real registers,
+     *  not skid-doubled. */
+    unsigned state_bits = 0;
+};
+
+/** Whole-datapath netlist. */
+struct Netlist
+{
+    DatapathConfig cfg;
+    std::array<StageNetlist, kNumStages> stages{};
+
+    /** Skid buffers hold a main and a skid copy of each payload. */
+    static constexpr unsigned kSkidDepth = 2;
+
+    /** Build the netlist for a configuration. */
+    static Netlist build(const DatapathConfig &cfg);
+
+    /** Sum of provisioned units over all stages. */
+    FuCounts totalFus() const;
+
+    /** Total routing legs. */
+    unsigned totalRouteLegs() const;
+
+    /** Total sequential bits: payload registers times skid depth plus
+     *  architectural state. */
+    uint64_t totalSequentialBits() const;
+
+    /** Units activated by one beat of the given operation. */
+    FuCounts usedBy(Opcode op) const;
+
+    /** Routing legs activated by one beat of the given operation. */
+    unsigned routeLegsUsedBy(Opcode op) const;
+};
+
+/**
+ * Field-liveness of the SRFDS: bits of operation op alive in the output
+ * register of stage `stage` (0-based), after dead-node elimination.
+ * Exposed for the liveness unit tests.
+ */
+unsigned liveBits(Opcode op, unsigned stage);
+
+/** Control bits (opcode, tag, reset flag) alive at every stage. */
+unsigned controlBits();
+
+} // namespace rayflex::synth
+
+#endif // RAYFLEX_SYNTH_NETLIST_HH

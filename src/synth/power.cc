@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Power model implementation.
+ */
+#include "synth/power.hh"
+
+#include <algorithm>
+
+namespace rayflex::synth
+{
+
+PowerReport
+PowerModel::estimate(const Netlist &n, const core::ActivityTrace &trace,
+                     double clock_ghz) const
+{
+    const EnergyLibrary &e = lib_.energy;
+    const TechLibrary &t = lib_.tech;
+
+    if (trace.cycles == 0)
+        return {};
+
+    // Energy per beat of each op: active functional units only (the
+    // rest are zero-gated).
+    double fu_pj = 0, route_pj = 0;
+    for (size_t o = 0; o < kNumOpcodes; ++o) {
+        const double beats = double(trace.beats[o]);
+        if (beats == 0)
+            continue;
+        FuCounts u = n.usedBy(static_cast<Opcode>(o));
+        double e_add = e.adder, e_mul = e.multiplier, e_sq = e.squarer;
+        if (n.cfg.skip_intermediate_rounding) {
+            e_add *= 1.0 - e.rounding_frac_adder;
+            e_mul *= 1.0 - e.rounding_frac_multiplier;
+            e_sq *= 1.0 - e.rounding_frac_multiplier;
+        }
+        double per_beat = u.adders * e_add +
+                          u.multipliers * e_mul +
+                          u.squarers * e_sq +
+                          u.comparators * e.comparator +
+                          u.sort_cmps * e.comparator +
+                          u.converters * e.converter;
+        fu_pj += beats * per_beat;
+        route_pj += beats *
+                    n.routeLegsUsedBy(static_cast<Opcode>(o)) *
+                    e.route_leg;
+    }
+
+    // Registers clock every cycle; the SRFDS registers are rewritten on
+    // every beat irrespective of operation.
+    double reg_pj =
+        double(trace.cycles) * double(n.totalSequentialBits()) *
+        e.flop_bit;
+
+    // Stronger cells at aggressive clock targets switch more charge.
+    double over = std::max(0.0, clock_ghz - t.easy_corner_ghz);
+    double derate = 1.0 + t.energy_slope_per_ghz * over;
+
+    // pJ per cycle * cycles/s = W: P = E_total[pJ] / cycles *
+    // f[GHz] * 1e-3.
+    const double cycles = double(trace.cycles);
+    const double scale = clock_ghz * 1e-3 / cycles * derate;
+
+    PowerReport r;
+    r.fu_dynamic = fu_pj * scale;
+    r.route_dynamic = route_pj * scale;
+    r.reg_dynamic = reg_pj * scale;
+
+    AreaModel area(lib_);
+    r.static_power =
+        area.estimate(n, clock_ghz).total() * t.static_power_per_um2;
+    return r;
+}
+
+PowerReport
+PowerModel::estimateFullThroughput(const Netlist &n, Opcode op,
+                                   double clock_ghz) const
+{
+    core::ActivityTrace trace;
+    trace.cycles = 1000;
+    trace.beats[static_cast<size_t>(op)] = 1000;
+    return estimate(n, trace, clock_ghz);
+}
+
+} // namespace rayflex::synth

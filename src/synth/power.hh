@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Power model: the Fig. 8 / Fig. 9 experiments.
+ *
+ * Dynamic power is activity-based: the stimulus is an ActivityTrace
+ * captured from the cycle simulator (the model analogue of the VCD files
+ * the paper records from its testbenches). Per beat of an operation,
+ * exactly the functional units that operation uses toggle - RayFlex
+ * zero-gates the inputs of every other unit, so their dynamic power is
+ * negligible (Section VII-B). Register power is operation-independent:
+ * the SRFDS stage registers clock and are rewritten on every beat
+ * regardless of which fields hold valid data, which is why adding
+ * operations raises box/triangle power even though those ops use none
+ * of the new hardware.
+ *
+ * Static power scales with area and sits an order of magnitude below
+ * dynamic power at 1 GHz for this technology.
+ */
+#ifndef RAYFLEX_SYNTH_POWER_HH
+#define RAYFLEX_SYNTH_POWER_HH
+
+#include "core/datapath.hh"
+#include "synth/area.hh"
+#include "synth/cells.hh"
+#include "synth/netlist.hh"
+
+namespace rayflex::synth
+{
+
+/** Power estimate in watts, decomposed by source. */
+struct PowerReport
+{
+    double fu_dynamic = 0;     ///< functional-unit switching
+    double reg_dynamic = 0;    ///< pipeline/state register clocking
+    double route_dynamic = 0;  ///< operand steering and gating
+    double static_power = 0;   ///< leakage (area-proportional)
+
+    double
+    total() const
+    {
+        return fu_dynamic + reg_dynamic + route_dynamic + static_power;
+    }
+};
+
+/** Activity-based power estimator. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const CellLibrary &lib = CellLibrary::nangate15())
+        : lib_(lib)
+    {}
+
+    /**
+     * Estimate power from an activity trace.
+     *
+     * @param n         Structural netlist of the configuration.
+     * @param trace     Beats per opcode and cycles simulated (from
+     *                  core::RayFlexDatapath::activity()).
+     * @param clock_ghz Clock frequency the design runs (and was
+     *                  synthesized) at.
+     */
+    PowerReport estimate(const Netlist &n,
+                         const core::ActivityTrace &trace,
+                         double clock_ghz) const;
+
+    /**
+     * Convenience for the paper's full-throughput experiments: power
+     * when the pipeline processes one beat of `op` every cycle.
+     */
+    PowerReport estimateFullThroughput(const Netlist &n, Opcode op,
+                                       double clock_ghz) const;
+
+  private:
+    const CellLibrary &lib_;
+};
+
+} // namespace rayflex::synth
+
+#endif // RAYFLEX_SYNTH_POWER_HH

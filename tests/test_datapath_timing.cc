@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Timing behaviour of the assembled datapath (Section III-D): fixed
+ * 11-cycle latency, one operation per cycle throughput, elastic
+ * behaviour under input bubbles and output back-pressure.
+ */
+#include <gtest/gtest.h>
+
+#include "core/datapath.hh"
+#include "core/workloads.hh"
+#include "pipeline/drivers.hh"
+
+using namespace rayflex::core;
+using namespace rayflex::pipeline;
+
+namespace
+{
+
+CyclePattern
+hashPattern(uint64_t seed, unsigned pct)
+{
+    return [seed, pct](uint64_t cycle) {
+        uint64_t h = (cycle + seed) * 0x9E3779B97F4A7C15ull;
+        return (h >> 33) % 100 < pct;
+    };
+}
+
+} // namespace
+
+TEST(DatapathTiming, LatencyIsElevenCycles)
+{
+    RayFlexDatapath dp(kBaselineUnified);
+    Simulator sim;
+    Source<DatapathInput> src("src", &dp.in());
+    Sink<DatapathOutput> sink("sink", &dp.out());
+    dp.registerWith(sim);
+    sim.add(&src);
+    sim.add(&sink);
+
+    WorkloadGen gen(1);
+    src.push(gen.rayBoxOp(7));
+    ASSERT_TRUE(sim.runUntil([&] { return sink.count() == 1; }, 100));
+    // Accepted on cycle 0; delivered on cycle kPipelineLatency.
+    EXPECT_EQ(sink.arrivalCycles()[0], kPipelineLatency);
+    EXPECT_EQ(sink.received()[0].tag, 7u);
+}
+
+TEST(DatapathTiming, ThroughputIsOneOpPerCycle)
+{
+    RayFlexDatapath dp(kExtendedUnified);
+    Simulator sim;
+    Source<DatapathInput> src("src", &dp.in());
+    Sink<DatapathOutput> sink("sink", &dp.out());
+    dp.registerWith(sim);
+    sim.add(&src);
+    sim.add(&sink);
+
+    WorkloadGen gen(2);
+    const int n = 500;
+    for (int i = 0; i < n; ++i)
+        src.push(gen.rayBoxOp(uint64_t(i)));
+    ASSERT_TRUE(sim.runUntil([&] { return sink.count() == size_t(n); },
+                             2000));
+    // First beat after the pipeline fill, then II = 1.
+    const auto &cyc = sink.arrivalCycles();
+    EXPECT_EQ(cyc.front(), kPipelineLatency);
+    for (size_t i = 1; i < cyc.size(); ++i)
+        ASSERT_EQ(cyc[i], cyc[i - 1] + 1);
+    EXPECT_EQ(sim.cycle(), uint64_t(n) + kPipelineLatency);
+}
+
+TEST(DatapathTiming, ResultsStayInOrderUnderStalls)
+{
+    RayFlexDatapath dp(kExtendedUnified);
+    Simulator sim;
+    Source<DatapathInput> src("src", &dp.in(), hashPattern(3, 60));
+    Sink<DatapathOutput> sink("sink", &dp.out(), hashPattern(9, 60));
+    dp.registerWith(sim);
+    sim.add(&src);
+    sim.add(&sink);
+
+    WorkloadGen gen(3);
+    const int n = 400;
+    for (int i = 0; i < n; ++i)
+        src.push(gen.rayTriangleOp(uint64_t(i)));
+    ASSERT_TRUE(sim.runUntil([&] { return sink.count() == size_t(n); },
+                             20000));
+    for (int i = 0; i < n; ++i)
+        ASSERT_EQ(sink.received()[size_t(i)].tag, uint64_t(i));
+}
+
+TEST(DatapathTiming, BackPressureLimitsInFlightOps)
+{
+    // With the sink never ready, the 11 skid buffers can hold at most
+    // 22 beats; the source must then be throttled by the registered
+    // ready chain.
+    RayFlexDatapath dp(kBaselineUnified);
+    Simulator sim;
+    Source<DatapathInput> src("src", &dp.in());
+    Sink<DatapathOutput> sink("sink", &dp.out(),
+                              [](uint64_t) { return false; });
+    dp.registerWith(sim);
+    sim.add(&src);
+    sim.add(&sink);
+
+    WorkloadGen gen(4);
+    for (int i = 0; i < 100; ++i)
+        src.push(gen.rayBoxOp(uint64_t(i)));
+    sim.run(200);
+    EXPECT_EQ(sink.count(), 0u);
+    EXPECT_EQ(src.sent(), 2u * kNumStages);
+
+    unsigned occupancy = 0;
+    for (const auto *st : dp.stages())
+        occupancy += st->occupancy();
+    EXPECT_EQ(occupancy, 2u * kNumStages);
+}
+
+TEST(DatapathTiming, DrainsCompletelyAfterStall)
+{
+    RayFlexDatapath dp(kBaselineUnified);
+    Simulator sim;
+    Source<DatapathInput> src("src", &dp.in());
+    // Blocked for 50 cycles, then always ready.
+    Sink<DatapathOutput> sink("sink", &dp.out(),
+                              [](uint64_t c) { return c >= 50; });
+    dp.registerWith(sim);
+    sim.add(&src);
+    sim.add(&sink);
+
+    WorkloadGen gen(5);
+    const int n = 60;
+    for (int i = 0; i < n; ++i)
+        src.push(gen.rayBoxOp(uint64_t(i)));
+    ASSERT_TRUE(sim.runUntil([&] { return sink.count() == size_t(n); },
+                             1000));
+    for (int i = 0; i < n; ++i)
+        ASSERT_EQ(sink.received()[size_t(i)].tag, uint64_t(i));
+}
+
+TEST(DatapathTiming, BubblesDoNotCorruptStream)
+{
+    // Sparse input (30% duty): outputs preserve order and values, and
+    // the pipeline never invents or drops beats.
+    RayFlexDatapath dp(kExtendedUnified);
+    Simulator sim;
+    Source<DatapathInput> src("src", &dp.in(), hashPattern(11, 30));
+    Sink<DatapathOutput> sink("sink", &dp.out());
+    dp.registerWith(sim);
+    sim.add(&src);
+    sim.add(&sink);
+
+    WorkloadGen gen(6);
+    const int n = 200;
+    std::vector<DatapathInput> inputs;
+    for (int i = 0; i < n; ++i) {
+        inputs.push_back(gen.euclideanOp(true, uint64_t(i)));
+        src.push(inputs.back());
+    }
+    ASSERT_TRUE(sim.runUntil([&] { return sink.count() == size_t(n); },
+                             20000));
+    DistanceAccumulators acc;
+    for (int i = 0; i < n; ++i) {
+        DatapathOutput fn = functionalEval(inputs[size_t(i)], acc);
+        ASSERT_EQ(sink.received()[size_t(i)].euclidean_accumulator,
+                  fn.euclidean_accumulator);
+    }
+}
+
+TEST(DatapathTiming, PerStageStatsConsistent)
+{
+    RayFlexDatapath dp(kBaselineUnified);
+    std::vector<DatapathInput> inputs;
+    WorkloadGen gen(7);
+    for (int i = 0; i < 100; ++i)
+        inputs.push_back(gen.rayBoxOp(uint64_t(i)));
+    runBatch(dp, inputs);
+    for (const auto *st : dp.stages()) {
+        EXPECT_EQ(st->stats().accepted, 100u) << st->name();
+        EXPECT_EQ(st->stats().delivered, 100u) << st->name();
+    }
+    EXPECT_EQ(dp.activity().beats[size_t(Opcode::RayBox)], 100u);
+}

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests of the extended datapath's distance operations (Section V-A):
+ * arbitrary-dimension vectors over multiple beats, the
+ * reset_accumulator protocol, dimension masking, and the interleaving
+ * guarantees (distance beats may be interspersed with any number of
+ * box/triangle ops; Euclidean and cosine jobs may intersperse each
+ * other because they use separate accumulators).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/datapath.hh"
+#include "core/golden.hh"
+#include "core/workloads.hh"
+#include "pipeline/drivers.hh"
+
+using namespace rayflex::core;
+using rayflex::fp::fromBits;
+using rayflex::fp::toBits;
+
+namespace
+{
+
+/** Build the beats of one Euclidean job over a `dims`-dimensional pair
+ *  of vectors (last beat sets reset_accumulator and masks the tail). */
+std::vector<DatapathInput>
+euclideanJob(const std::vector<float> &a, const std::vector<float> &b,
+             uint64_t tag)
+{
+    std::vector<DatapathInput> beats;
+    const size_t dims = a.size();
+    for (size_t base = 0; base < dims; base += kEuclideanWidth) {
+        DatapathInput in;
+        in.op = Opcode::Euclidean;
+        in.tag = tag;
+        uint16_t mask = 0;
+        for (size_t i = 0; i < kEuclideanWidth && base + i < dims; ++i) {
+            in.vec_a[i] = toBits(a[base + i]);
+            in.vec_b[i] = toBits(b[base + i]);
+            mask |= uint16_t(1u << i);
+        }
+        in.mask = mask;
+        in.reset_accumulator = base + kEuclideanWidth >= dims;
+        beats.push_back(in);
+    }
+    return beats;
+}
+
+/** Reference squared distance in double. */
+double
+refSq(const std::vector<float> &a, const std::vector<float> &b)
+{
+    double s = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = double(a[i]) - double(b[i]);
+        s += d * d;
+    }
+    return s;
+}
+
+std::vector<float>
+randomVec(WorkloadGen &gen, size_t dims, float lo = -10, float hi = 10)
+{
+    std::vector<float> v(dims);
+    for (float &x : v)
+        x = gen.uniform(lo, hi);
+    return v;
+}
+
+} // namespace
+
+TEST(Distance, SingleBeatSixteenDims)
+{
+    WorkloadGen gen(1);
+    auto a = randomVec(gen, 16);
+    auto b = randomVec(gen, 16);
+    auto beats = euclideanJob(a, b, 0);
+    ASSERT_EQ(beats.size(), 1u);
+    DistanceAccumulators acc;
+    DatapathOutput out = functionalEval(beats[0], acc);
+    EXPECT_TRUE(out.euclidean_reset);
+    EXPECT_NEAR(fromBits(out.euclidean_accumulator), refSq(a, b),
+                refSq(a, b) * 1e-5 + 1e-3);
+}
+
+struct HighDims : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(HighDims, MultiBeatEuclideanAccumulation)
+{
+    const size_t dims = GetParam();
+    WorkloadGen gen(dims);
+    auto a = randomVec(gen, dims);
+    auto b = randomVec(gen, dims);
+    auto beats = euclideanJob(a, b, 1);
+
+    DistanceAccumulators acc;
+    DatapathOutput last;
+    for (size_t i = 0; i < beats.size(); ++i) {
+        last = functionalEval(beats[i], acc);
+        // Only the final beat reports reset.
+        EXPECT_EQ(last.euclidean_reset, i + 1 == beats.size());
+    }
+    double ref = refSq(a, b);
+    EXPECT_NEAR(fromBits(last.euclidean_accumulator), ref,
+                ref * 1e-4 + 1e-3);
+    // Accumulator cleared for the next job.
+    EXPECT_EQ(fromBits(rayflex::fp::decode(acc.euclid)), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HighDims,
+                         ::testing::Values(16, 32, 48, 128, 300, 1000));
+
+TEST(Distance, MaskDropsDimensions)
+{
+    WorkloadGen gen(3);
+    DatapathInput in = gen.euclideanOp(true, 0);
+    in.mask = 0x00FF; // keep only the low 8 dimensions
+    DistanceAccumulators acc;
+    DatapathOutput out = functionalEval(in, acc);
+    double ref = 0;
+    for (int i = 0; i < 8; ++i) {
+        double d = double(fromBits(in.vec_a[size_t(i)])) -
+                   double(fromBits(in.vec_b[size_t(i)]));
+        ref += d * d;
+    }
+    EXPECT_NEAR(fromBits(out.euclidean_accumulator), ref,
+                ref * 1e-5 + 1e-3);
+    EXPECT_EQ(out.euclidean_accumulator,
+              golden::euclideanBeat(in.vec_a, in.vec_b, in.mask));
+}
+
+TEST(Distance, ZeroMaskGivesZero)
+{
+    WorkloadGen gen(4);
+    DatapathInput in = gen.euclideanOp(true, 0);
+    in.mask = 0;
+    DistanceAccumulators acc;
+    DatapathOutput out = functionalEval(in, acc);
+    EXPECT_EQ(fromBits(out.euclidean_accumulator), 0.0f);
+}
+
+TEST(Distance, CosineMultiBeat)
+{
+    const size_t dims = 64; // 8 beats of 8
+    WorkloadGen gen(5);
+    auto a = randomVec(gen, dims);
+    auto b = randomVec(gen, dims);
+
+    DistanceAccumulators acc;
+    DatapathOutput last;
+    for (size_t base = 0; base < dims; base += kCosineWidth) {
+        DatapathInput in;
+        in.op = Opcode::Cosine;
+        in.mask = 0x00FF;
+        for (size_t i = 0; i < kCosineWidth; ++i) {
+            in.vec_a[i] = toBits(a[base + i]);
+            in.vec_b[i] = toBits(b[base + i]);
+        }
+        in.reset_accumulator = base + kCosineWidth >= dims;
+        last = functionalEval(in, acc);
+    }
+    double ref_dot = 0, ref_norm = 0;
+    for (size_t i = 0; i < dims; ++i) {
+        ref_dot += double(a[i]) * double(b[i]);
+        ref_norm += double(b[i]) * double(b[i]);
+    }
+    EXPECT_TRUE(last.angular_reset);
+    EXPECT_NEAR(fromBits(last.angular_dot_product), ref_dot,
+                std::abs(ref_dot) * 1e-3 + 1e-2);
+    EXPECT_NEAR(fromBits(last.angular_norm), ref_norm,
+                ref_norm * 1e-4 + 1e-2);
+}
+
+TEST(Distance, CosineDistanceEndToEnd)
+{
+    // Full cosine-distance computation as software would do it with the
+    // datapath outputs: 1 - dot / (|a| |b|).
+    const size_t dims = 24;
+    WorkloadGen gen(6);
+    auto a = randomVec(gen, dims, 0.1f, 5.0f);
+    auto b = randomVec(gen, dims, 0.1f, 5.0f);
+
+    DistanceAccumulators acc;
+    DatapathOutput last;
+    for (size_t base = 0; base < dims; base += kCosineWidth) {
+        DatapathInput in;
+        in.op = Opcode::Cosine;
+        in.mask = 0x00FF;
+        for (size_t i = 0; i < kCosineWidth; ++i) {
+            in.vec_a[i] = toBits(a[base + i]);
+            in.vec_b[i] = toBits(b[base + i]);
+        }
+        in.reset_accumulator = base + kCosineWidth >= dims;
+        last = functionalEval(in, acc);
+    }
+    double na = 0, ref_dot = 0, nb = 0;
+    for (size_t i = 0; i < dims; ++i) {
+        na += double(a[i]) * double(a[i]);
+        nb += double(b[i]) * double(b[i]);
+        ref_dot += double(a[i]) * double(b[i]);
+    }
+    double hw_cos = double(fromBits(last.angular_dot_product)) /
+                    (std::sqrt(na) *
+                     std::sqrt(double(fromBits(last.angular_norm))));
+    double ref_cos = ref_dot / (std::sqrt(na) * std::sqrt(nb));
+    EXPECT_NEAR(hw_cos, ref_cos, 1e-4);
+}
+
+TEST(Distance, JobsInterleaveWithIntersectionOps)
+{
+    // A long Euclidean job interspersed with box/tri ops: the
+    // accumulator must be unaffected by the intersection beats.
+    WorkloadGen gen(7);
+    const size_t dims = 160;
+    auto a = randomVec(gen, dims);
+    auto b = randomVec(gen, dims);
+    auto beats = euclideanJob(a, b, 9);
+
+    DistanceAccumulators acc;
+    DatapathOutput last;
+    for (size_t i = 0; i < beats.size(); ++i) {
+        // A burst of unrelated intersection work between beats.
+        for (int k = 0; k < 5; ++k) {
+            functionalEval(gen.rayBoxOp(1000 + uint64_t(k)), acc);
+            functionalEval(gen.rayTriangleOp(2000 + uint64_t(k)), acc);
+        }
+        last = functionalEval(beats[i], acc);
+    }
+    double ref = refSq(a, b);
+    EXPECT_NEAR(fromBits(last.euclidean_accumulator), ref,
+                ref * 1e-4 + 1e-3);
+}
+
+TEST(Distance, EuclideanAndCosineJobsInterleaveEachOther)
+{
+    // Separate accumulators: a multi-beat Euclidean job and a
+    // multi-beat cosine job proceed beat-by-beat in alternation.
+    WorkloadGen gen(8);
+    const size_t edims = 64, cdims = 32;
+    auto ea = randomVec(gen, edims);
+    auto eb = randomVec(gen, edims);
+    auto ca = randomVec(gen, cdims);
+    auto cb = randomVec(gen, cdims);
+    auto ebeats = euclideanJob(ea, eb, 1);
+
+    std::vector<DatapathInput> cbeats;
+    for (size_t base = 0; base < cdims; base += kCosineWidth) {
+        DatapathInput in;
+        in.op = Opcode::Cosine;
+        in.mask = 0x00FF;
+        for (size_t i = 0; i < kCosineWidth; ++i) {
+            in.vec_a[i] = toBits(ca[base + i]);
+            in.vec_b[i] = toBits(cb[base + i]);
+        }
+        in.reset_accumulator = base + kCosineWidth >= cdims;
+        cbeats.push_back(in);
+    }
+    ASSERT_EQ(ebeats.size(), cbeats.size());
+
+    DistanceAccumulators acc;
+    DatapathOutput e_last, c_last;
+    for (size_t i = 0; i < ebeats.size(); ++i) {
+        e_last = functionalEval(ebeats[i], acc);
+        c_last = functionalEval(cbeats[i], acc);
+    }
+    double eref = refSq(ea, eb);
+    double cdot = 0;
+    for (size_t i = 0; i < cdims; ++i)
+        cdot += double(ca[i]) * double(cb[i]);
+    EXPECT_NEAR(fromBits(e_last.euclidean_accumulator), eref,
+                eref * 1e-4 + 1e-3);
+    EXPECT_NEAR(fromBits(c_last.angular_dot_product), cdot,
+                std::abs(cdot) * 1e-3 + 1e-2);
+}
+
+TEST(Distance, ResetEchoDelayMatchesPipelineLatency)
+{
+    // In the pipelined model the euclidean_reset output corresponds to
+    // the reset_accumulator input exactly kPipelineLatency cycles
+    // earlier (Section V-A).
+    RayFlexDatapath dp(kExtendedUnified);
+    rayflex::pipeline::Simulator sim;
+    rayflex::pipeline::Source<DatapathInput> src("src", &dp.in());
+    rayflex::pipeline::Sink<DatapathOutput> sink("sink", &dp.out());
+    dp.registerWith(sim);
+    sim.add(&src);
+    sim.add(&sink);
+
+    WorkloadGen gen(9);
+    std::vector<bool> resets;
+    for (int i = 0; i < 100; ++i) {
+        bool reset = (gen.engine()() & 3u) == 0;
+        resets.push_back(reset);
+        src.push(gen.euclideanOp(reset, uint64_t(i)));
+    }
+    ASSERT_TRUE(sim.runUntil([&] { return sink.count() == 100; }, 1000));
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(sink.received()[size_t(i)].euclidean_reset,
+                  resets[size_t(i)]);
+        EXPECT_EQ(sink.arrivalCycles()[size_t(i)],
+                  uint64_t(i) + kPipelineLatency);
+    }
+}
+
+TEST(Distance, AccumulatorSurvivesPipelineBubbles)
+{
+    // Multi-beat job fed with gaps: accumulation is by beat, not by
+    // cycle.
+    RayFlexDatapath dp(kExtendedUnified);
+    rayflex::pipeline::Simulator sim;
+    rayflex::pipeline::Source<DatapathInput> src(
+        "src", &dp.in(), [](uint64_t c) { return c % 3 == 0; });
+    rayflex::pipeline::Sink<DatapathOutput> sink("sink", &dp.out());
+    dp.registerWith(sim);
+    sim.add(&src);
+    sim.add(&sink);
+
+    WorkloadGen gen(10);
+    const size_t dims = 96;
+    auto a = randomVec(gen, dims);
+    auto b = randomVec(gen, dims);
+    for (const auto &beat : euclideanJob(a, b, 0))
+        src.push(beat);
+    ASSERT_TRUE(sim.runUntil([&] { return sink.count() == 6; }, 1000));
+    double ref = refSq(a, b);
+    EXPECT_NEAR(fromBits(sink.received().back().euclidean_accumulator),
+                ref, ref * 1e-4 + 1e-3);
+}

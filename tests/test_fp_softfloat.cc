@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit and property tests for the binary32 softfloat substrate.
+ *
+ * The load-bearing property is bit-exactness against host IEEE FP32
+ * arithmetic (compiled with -ffp-contract=off): the golden model relies
+ * on it to make hardware-vs-golden comparisons exact.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fp/float32.hh"
+#include "fp/recoded.hh"
+
+using namespace rayflex::fp;
+
+namespace
+{
+
+/** Draw a "interesting" random FP32 bit pattern: uniform over bit
+ *  patterns, so NaNs, infinities, subnormals and both zeros all occur. */
+F32
+randomBits(std::mt19937_64 &rng)
+{
+    return static_cast<F32>(rng());
+}
+
+/** Canonicalize NaNs so bit comparisons ignore payload differences
+ *  between softfloat and host hardware. */
+F32
+canon(F32 v)
+{
+    return isNaNF32(v) ? kDefaultNaN : v;
+}
+
+} // namespace
+
+// ----- directed special cases -----
+
+TEST(SoftFloatAdd, SignedZeros)
+{
+    EXPECT_EQ(addF32(kPosZero, kPosZero), kPosZero);
+    EXPECT_EQ(addF32(kNegZero, kNegZero), kNegZero);
+    EXPECT_EQ(addF32(kPosZero, kNegZero), kPosZero);
+    EXPECT_EQ(addF32(kNegZero, kPosZero), kPosZero);
+}
+
+TEST(SoftFloatAdd, ExactCancellationIsPositiveZero)
+{
+    F32 a = toBits(1.5f);
+    F32 b = toBits(-1.5f);
+    EXPECT_EQ(addF32(a, b), kPosZero);
+}
+
+TEST(SoftFloatAdd, InfinityArithmetic)
+{
+    EXPECT_EQ(addF32(kPosInf, toBits(1.0f)), kPosInf);
+    EXPECT_EQ(addF32(kNegInf, toBits(1.0f)), kNegInf);
+    EXPECT_EQ(addF32(kPosInf, kPosInf), kPosInf);
+    EXPECT_TRUE(isNaNF32(addF32(kPosInf, kNegInf)));
+}
+
+TEST(SoftFloatAdd, NaNPropagates)
+{
+    EXPECT_TRUE(isNaNF32(addF32(kDefaultNaN, toBits(2.0f))));
+    EXPECT_TRUE(isNaNF32(addF32(toBits(2.0f), kDefaultNaN)));
+}
+
+TEST(SoftFloatAdd, OverflowToInfinity)
+{
+    EXPECT_EQ(addF32(kMaxFinite, kMaxFinite), kPosInf);
+}
+
+TEST(SoftFloatAdd, GradualUnderflow)
+{
+    // min_normal - min_subnormal is subnormal.
+    F32 r = subF32(kMinNormal, kMinSubnormal);
+    EXPECT_TRUE(isSubnormalF32(r));
+    EXPECT_EQ(r, kMinNormal - 1);
+}
+
+TEST(SoftFloatMul, InfTimesZeroIsNaN)
+{
+    EXPECT_TRUE(isNaNF32(mulF32(kPosInf, kPosZero)));
+    EXPECT_TRUE(isNaNF32(mulF32(kNegZero, kPosInf)));
+    EXPECT_TRUE(isNaNF32(mulF32(kNegInf, kPosZero)));
+}
+
+TEST(SoftFloatMul, SignOfZeroProducts)
+{
+    EXPECT_EQ(mulF32(toBits(2.0f), kNegZero), kNegZero);
+    EXPECT_EQ(mulF32(toBits(-2.0f), kNegZero), kPosZero);
+}
+
+TEST(SoftFloatMul, SubnormalTimesLargeIsExactWhenRepresentable)
+{
+    // 2^-140 * 2^20 = 2^-120, a normal number.
+    F32 a = toBits(std::ldexp(1.0f, -140));
+    F32 b = toBits(std::ldexp(1.0f, 20));
+    EXPECT_EQ(mulF32(a, b), toBits(std::ldexp(1.0f, -120)));
+}
+
+TEST(SoftFloatMul, OverflowToInfinity)
+{
+    EXPECT_EQ(mulF32(kMaxFinite, toBits(2.0f)), kPosInf);
+    EXPECT_EQ(mulF32(kMaxFinite ^ 0x80000000u, toBits(2.0f)), kNegInf);
+}
+
+TEST(SoftFloatDiv, Specials)
+{
+    EXPECT_TRUE(isNaNF32(divF32(kPosZero, kPosZero)));
+    EXPECT_TRUE(isNaNF32(divF32(kPosInf, kPosInf)));
+    EXPECT_EQ(divF32(toBits(1.0f), kPosZero), kPosInf);
+    EXPECT_EQ(divF32(toBits(-1.0f), kPosZero), kNegInf);
+    EXPECT_EQ(divF32(toBits(1.0f), kNegZero), kNegInf);
+    EXPECT_EQ(divF32(toBits(1.0f), kPosInf), kPosZero);
+    EXPECT_EQ(divF32(toBits(1.0f), toBits(4.0f)), toBits(0.25f));
+}
+
+TEST(SoftFloatRounding, TiesToEven)
+{
+    // 1 + 2^-24 is exactly halfway between 1 and 1+2^-23: rounds to 1.
+    F32 one = toBits(1.0f);
+    F32 tiny = toBits(std::ldexp(1.0f, -24));
+    EXPECT_EQ(addF32(one, tiny), one);
+    // (1+2^-23) + 2^-24 is halfway with odd LSB: rounds up.
+    F32 next = one + 1;
+    EXPECT_EQ(addF32(next, tiny), next + 1);
+}
+
+// ----- comparator semantics -----
+
+TEST(Comparator, NaNIsUnordered)
+{
+    F32 x = toBits(1.0f);
+    EXPECT_EQ(compareF32(kDefaultNaN, x), Cmp::UN);
+    EXPECT_EQ(compareF32(x, kDefaultNaN), Cmp::UN);
+    EXPECT_EQ(compareF32(kDefaultNaN, kDefaultNaN), Cmp::UN);
+    // All ordered predicates are false on NaN - the property the paper's
+    // coplanar-miss behaviour relies on.
+    EXPECT_FALSE(ltF32(kDefaultNaN, x));
+    EXPECT_FALSE(leF32(kDefaultNaN, x));
+    EXPECT_FALSE(eqF32(kDefaultNaN, x));
+    EXPECT_FALSE(geF32(kDefaultNaN, x));
+    EXPECT_FALSE(gtF32(kDefaultNaN, x));
+}
+
+TEST(Comparator, ZeroesCompareEqual)
+{
+    EXPECT_EQ(compareF32(kPosZero, kNegZero), Cmp::EQ);
+    EXPECT_EQ(compareF32(kNegZero, kPosZero), Cmp::EQ);
+}
+
+TEST(Comparator, SignHandling)
+{
+    EXPECT_EQ(compareF32(toBits(-1.0f), toBits(1.0f)), Cmp::LT);
+    EXPECT_EQ(compareF32(toBits(-1.0f), toBits(-2.0f)), Cmp::GT);
+    EXPECT_EQ(compareF32(kNegInf, kPosInf), Cmp::LT);
+    EXPECT_EQ(compareF32(toBits(-0.5f), kNegZero), Cmp::LT);
+}
+
+TEST(Comparator, NaNPropagatingMinMax)
+{
+    F32 x = toBits(3.0f), y = toBits(5.0f);
+    EXPECT_EQ(maxPropF32(x, y), y);
+    EXPECT_EQ(minPropF32(x, y), x);
+    EXPECT_TRUE(isNaNF32(maxPropF32(kDefaultNaN, y)));
+    EXPECT_TRUE(isNaNF32(maxPropF32(x, kDefaultNaN)));
+    EXPECT_TRUE(isNaNF32(minPropF32(kDefaultNaN, y)));
+    EXPECT_TRUE(isNaNF32(minPropF32(x, kDefaultNaN)));
+    EXPECT_TRUE(isNaNF32(max4PropF32(x, y, kDefaultNaN, x)));
+    EXPECT_TRUE(isNaNF32(min4PropF32(x, y, x, kDefaultNaN)));
+}
+
+// ----- randomized bit-exactness vs host hardware -----
+
+struct RandomExactness : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RandomExactness, AddMatchesHost)
+{
+    std::mt19937_64 rng(GetParam());
+    for (int i = 0; i < 200000; ++i) {
+        F32 a = randomBits(rng);
+        F32 b = randomBits(rng);
+        F32 sw = addF32(a, b);
+        F32 hw = toBits(fromBits(a) + fromBits(b));
+        ASSERT_EQ(canon(sw), canon(hw))
+            << "a=0x" << std::hex << a << " b=0x" << b;
+    }
+}
+
+TEST_P(RandomExactness, SubMatchesHost)
+{
+    std::mt19937_64 rng(GetParam() ^ 0x5555);
+    for (int i = 0; i < 200000; ++i) {
+        F32 a = randomBits(rng);
+        F32 b = randomBits(rng);
+        F32 sw = subF32(a, b);
+        F32 hw = toBits(fromBits(a) - fromBits(b));
+        ASSERT_EQ(canon(sw), canon(hw))
+            << "a=0x" << std::hex << a << " b=0x" << b;
+    }
+}
+
+TEST_P(RandomExactness, MulMatchesHost)
+{
+    std::mt19937_64 rng(GetParam() ^ 0xAAAA);
+    for (int i = 0; i < 200000; ++i) {
+        F32 a = randomBits(rng);
+        F32 b = randomBits(rng);
+        F32 sw = mulF32(a, b);
+        F32 hw = toBits(fromBits(a) * fromBits(b));
+        ASSERT_EQ(canon(sw), canon(hw))
+            << "a=0x" << std::hex << a << " b=0x" << b;
+    }
+}
+
+TEST_P(RandomExactness, DivMatchesHost)
+{
+    std::mt19937_64 rng(GetParam() ^ 0x1234);
+    for (int i = 0; i < 100000; ++i) {
+        F32 a = randomBits(rng);
+        F32 b = randomBits(rng);
+        F32 sw = divF32(a, b);
+        F32 hw = toBits(fromBits(a) / fromBits(b));
+        ASSERT_EQ(canon(sw), canon(hw))
+            << "a=0x" << std::hex << a << " b=0x" << b;
+    }
+}
+
+TEST_P(RandomExactness, CompareMatchesHost)
+{
+    std::mt19937_64 rng(GetParam() ^ 0x9E37);
+    for (int i = 0; i < 200000; ++i) {
+        F32 a = randomBits(rng);
+        F32 b = randomBits(rng);
+        float fa = fromBits(a), fb = fromBits(b);
+        ASSERT_EQ(ltF32(a, b), fa < fb);
+        ASSERT_EQ(leF32(a, b), fa <= fb);
+        ASSERT_EQ(eqF32(a, b), fa == fb);
+        ASSERT_EQ(geF32(a, b), fa >= fb);
+        ASSERT_EQ(gtF32(a, b), fa > fb);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExactness,
+                         ::testing::Values(1, 2, 3, 42, 0xDEADBEEF));
+
+// ----- normal-range sweeps (denser coverage of ordinary values) -----
+
+TEST(SoftFloatSweep, NormalRangeAddMul)
+{
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<float> d(-1e6f, 1e6f);
+    for (int i = 0; i < 100000; ++i) {
+        float fa = d(rng), fb = d(rng);
+        F32 a = toBits(fa), b = toBits(fb);
+        ASSERT_EQ(addF32(a, b), toBits(fa + fb));
+        ASSERT_EQ(mulF32(a, b), toBits(fa * fb));
+    }
+}
+
+TEST(SoftFloatSweep, SubnormalNeighborhood)
+{
+    std::mt19937_64 rng(8);
+    for (int i = 0; i < 100000; ++i) {
+        // Bit patterns concentrated near the subnormal/normal boundary.
+        F32 a = static_cast<F32>(rng() % 0x01000000u);
+        F32 b = static_cast<F32>(rng() % 0x01000000u);
+        if (rng() & 1u)
+            a |= 0x80000000u;
+        if (rng() & 1u)
+            b |= 0x80000000u;
+        ASSERT_EQ(canon(addF32(a, b)),
+                  canon(toBits(fromBits(a) + fromBits(b))));
+        ASSERT_EQ(canon(mulF32(a, b)),
+                  canon(toBits(fromBits(a) * fromBits(b))));
+    }
+}

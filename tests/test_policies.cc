@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests of the design-exploration extensions: register-sharing policies
+ * (Section VII-A alternative) and the rounding-strategy ablation
+ * (Section III-F future work).
+ */
+#include <gtest/gtest.h>
+
+#include "core/golden.hh"
+#include "core/workloads.hh"
+#include "synth/area.hh"
+#include "synth/power.hh"
+
+using namespace rayflex::core;
+using namespace rayflex::synth;
+
+namespace
+{
+
+uint64_t
+seqBits(const DatapathConfig &base, RegisterPolicy pol)
+{
+    DatapathConfig cfg = base;
+    cfg.register_policy = pol;
+    return Netlist::build(cfg).totalSequentialBits();
+}
+
+} // namespace
+
+// ----- register-sharing policies -----
+
+TEST(RegisterPolicyModel, OrderingHolds)
+{
+    // aligned union <= disjoint per-op <= worst-case union, for every
+    // configuration (aligned takes the max, disjoint the sum, worst
+    // pins the widest union live everywhere).
+    for (const auto &cfg : {kBaselineUnified, kBaselineDisjoint,
+                            kExtendedUnified, kExtendedDisjoint}) {
+        uint64_t aligned =
+            seqBits(cfg, RegisterPolicy::SharedUnionAligned);
+        uint64_t disjoint = seqBits(cfg, RegisterPolicy::DisjointPerOp);
+        uint64_t worst =
+            seqBits(cfg, RegisterPolicy::SharedUnionWorstCase);
+        EXPECT_LE(aligned, disjoint) << cfg.name();
+        EXPECT_GE(worst, disjoint) << cfg.name();
+    }
+}
+
+TEST(RegisterPolicyModel, AlignedUnionDampensExtensionGrowth)
+{
+    // The Section VII-A argument: the +64% sequential growth comes from
+    // disjoint per-op registers; the aligned union grows much less
+    // because the distance lanes overlap the box/triangle lanes.
+    double disjoint_growth =
+        double(seqBits(kExtendedUnified, RegisterPolicy::DisjointPerOp)) /
+        double(seqBits(kBaselineUnified, RegisterPolicy::DisjointPerOp));
+    double aligned_growth =
+        double(seqBits(kExtendedUnified,
+                       RegisterPolicy::SharedUnionAligned)) /
+        double(seqBits(kBaselineUnified,
+                       RegisterPolicy::SharedUnionAligned));
+    EXPECT_NEAR(disjoint_growth, 1.64, 0.08);
+    EXPECT_LT(aligned_growth, disjoint_growth - 0.2);
+}
+
+TEST(RegisterPolicyModel, PolicyDoesNotTouchLogicArea)
+{
+    AreaModel m;
+    for (RegisterPolicy pol : {RegisterPolicy::DisjointPerOp,
+                               RegisterPolicy::SharedUnionAligned,
+                               RegisterPolicy::SharedUnionWorstCase}) {
+        DatapathConfig cfg = kExtendedUnified;
+        cfg.register_policy = pol;
+        AreaReport a = m.estimate(Netlist::build(cfg), 1.0);
+        AreaReport base = m.estimate(Netlist::build(kExtendedUnified),
+                                     1.0);
+        EXPECT_DOUBLE_EQ(a.logic, base.logic);
+    }
+}
+
+TEST(RegisterPolicyModel, WorstCaseUnionIsExpensive)
+{
+    // Pessimal lifetime alignment must cost more sequential area than
+    // the paper's disjoint design for the extended pipeline.
+    AreaModel m;
+    DatapathConfig worst = kExtendedUnified;
+    worst.register_policy = RegisterPolicy::SharedUnionWorstCase;
+    EXPECT_GT(m.estimate(Netlist::build(worst), 1.0).sequential,
+              m.estimate(Netlist::build(kExtendedUnified), 1.0)
+                  .sequential);
+}
+
+// ----- rounding ablation -----
+
+TEST(RoundingAblation, SkippingRoundingShrinksAreaAndPower)
+{
+    DatapathConfig no_round = kBaselineUnified;
+    no_round.skip_intermediate_rounding = true;
+    AreaModel am;
+    PowerModel pm;
+    double a0 = am.estimate(Netlist::build(kBaselineUnified), 1.0).total();
+    double a1 = am.estimate(Netlist::build(no_round), 1.0).total();
+    EXPECT_LT(a1, a0);
+    EXPECT_GT(a1, a0 * 0.90); // rounding is a few percent, not half
+
+    double p0 = pm.estimateFullThroughput(Netlist::build(kBaselineUnified),
+                                          Opcode::RayBox, 1.0)
+                    .total();
+    double p1 = pm.estimateFullThroughput(Netlist::build(no_round),
+                                          Opcode::RayBox, 1.0)
+                    .total();
+    EXPECT_LT(p1, p0);
+}
+
+TEST(RoundingAblation, SequentialAreaUnaffected)
+{
+    DatapathConfig no_round = kExtendedDisjoint;
+    no_round.skip_intermediate_rounding = true;
+    AreaModel m;
+    EXPECT_DOUBLE_EQ(
+        m.estimate(Netlist::build(no_round), 1.0).sequential,
+        m.estimate(Netlist::build(kExtendedDisjoint), 1.0).sequential);
+}
+
+TEST(RoundingAblation, UnroundedAgreesOnRobustCases)
+{
+    // Away from numerical boundaries, the unrounded datapath gives the
+    // same hit verdicts; flips are confined to a tiny boundary
+    // fraction.
+    WorkloadGen gen(77);
+    uint64_t flips = 0, total = 0;
+    for (int i = 0; i < 20000; ++i) {
+        DatapathInput in = gen.rayBoxOp(uint64_t(i));
+        for (int b = 0; b < 4; ++b) {
+            golden::BoxHit r = golden::rayBox(in.ray, in.boxes[b]);
+            golden::BoxHit u =
+                golden::rayBoxUnrounded(in.ray, in.boxes[b]);
+            flips += (r.hit != u.hit) ? 1 : 0;
+            ++total;
+        }
+    }
+    EXPECT_LT(double(flips) / double(total), 0.001);
+}
+
+TEST(RoundingAblation, UnroundedEuclideanIsCloserToDouble)
+{
+    // The point of extra intermediate precision: the unrounded result
+    // tracks the double-precision reference at least as well as the
+    // per-op-rounded one, on aggregate.
+    WorkloadGen gen(88);
+    double err_rounded = 0, err_unrounded = 0;
+    for (int i = 0; i < 20000; ++i) {
+        DatapathInput in = gen.euclideanOp(true, uint64_t(i));
+        double ref = golden::refEuclidean(in.vec_a, in.vec_b, in.mask);
+        if (ref <= 0)
+            continue;
+        double r = rayflex::fp::fromBits(
+            golden::euclideanBeat(in.vec_a, in.vec_b, in.mask));
+        double u = rayflex::fp::fromBits(golden::euclideanBeatUnrounded(
+            in.vec_a, in.vec_b, in.mask));
+        err_rounded += std::abs(r - ref) / ref;
+        err_unrounded += std::abs(u - ref) / ref;
+    }
+    EXPECT_LE(err_unrounded, err_rounded);
+}
+
+TEST(RoundingAblation, UnroundedTriangleDeviationIsBounded)
+{
+    WorkloadGen gen(99);
+    uint64_t flips = 0;
+    int checked = 0;
+    for (int i = 0; i < 20000; ++i) {
+        DatapathInput in = gen.rayTriangleOp(uint64_t(i));
+        TriangleResult r = golden::rayTriangle(in.ray, in.tri);
+        TriangleResult u = golden::rayTriangleUnrounded(in.ray, in.tri);
+        flips += (r.hit != u.hit) ? 1 : 0;
+        if (r.hit && u.hit) {
+            double tr = double(rayflex::fp::fromBits(r.t_num)) /
+                        double(rayflex::fp::fromBits(r.t_den));
+            double tu = double(rayflex::fp::fromBits(u.t_num)) /
+                        double(rayflex::fp::fromBits(u.t_den));
+            if (tr > 1e-3) {
+                ++checked;
+                EXPECT_NEAR(tu / tr, 1.0, 1e-3);
+            }
+        }
+    }
+    EXPECT_LT(double(flips) / 20000.0, 0.002);
+    EXPECT_GT(checked, 1000);
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests of the 5-comparator QuadSort network (pipeline stage 10).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/quadsort.hh"
+
+using namespace rayflex::core;
+using namespace rayflex::fp;
+
+namespace
+{
+
+std::array<SortRecord<uint8_t>, 4>
+make(std::array<float, 4> keys)
+{
+    std::array<SortRecord<uint8_t>, 4> r;
+    for (int i = 0; i < 4; ++i)
+        r[size_t(i)] = {toBits(keys[size_t(i)]), uint8_t(i)};
+    return r;
+}
+
+} // namespace
+
+TEST(QuadSort, AllPermutationsSorted)
+{
+    std::array<float, 4> vals = {3.0f, 1.0f, 4.0f, 2.0f};
+    std::array<int, 4> idx = {0, 1, 2, 3};
+    std::sort(idx.begin(), idx.end());
+    do {
+        std::array<float, 4> keys;
+        for (int i = 0; i < 4; ++i)
+            keys[size_t(i)] = vals[size_t(idx[size_t(i)])];
+        auto sorted = quadSort(make(keys));
+        for (int i = 0; i + 1 < 4; ++i)
+            ASSERT_TRUE(leF32(sorted[size_t(i)].key,
+                              sorted[size_t(i) + 1].key));
+    } while (std::next_permutation(idx.begin(), idx.end()));
+}
+
+TEST(QuadSort, DeterministicForEqualKeys)
+{
+    // Compare-exchange only swaps on strictly-greater, so equal keys
+    // never swap with each other; the network is deterministic but not
+    // fully stable (the (1,3) exchange can jump over slot 2). For
+    // {2,1,1,1} the trace is: CE(0,1) swaps, CE(1,3) swaps, giving
+    // payload order 1,3,2,0.
+    auto sorted = quadSort(make({2.0f, 1.0f, 1.0f, 1.0f}));
+    EXPECT_EQ(sorted[0].payload, 1);
+    EXPECT_EQ(sorted[1].payload, 3);
+    EXPECT_EQ(sorted[2].payload, 2);
+    EXPECT_EQ(sorted[3].payload, 0);
+}
+
+TEST(QuadSort, AllEqualKeepsIdentityOrder)
+{
+    auto sorted = quadSort(make({5.0f, 5.0f, 5.0f, 5.0f}));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(sorted[size_t(i)].payload, i);
+}
+
+TEST(QuadSort, InfinityKeysSortLast)
+{
+    auto recs = make({1.0f, 0.0f, 0.5f, 0.0f});
+    recs[0].key = kPosInf;
+    auto sorted = quadSort(recs);
+    EXPECT_EQ(sorted[3].payload, 0);
+    EXPECT_EQ(sorted[0].payload, 1); // 0.0 (stable: slot 1 before 3)
+    EXPECT_EQ(sorted[1].payload, 3);
+    EXPECT_EQ(sorted[2].payload, 2);
+}
+
+TEST(QuadSort, NegativeAndSignedZeroKeys)
+{
+    auto sorted = quadSort(make({0.0f, -1.0f, -0.0f, 1.0f}));
+    EXPECT_EQ(sorted[0].payload, 1); // -1
+    // +0 and -0 compare equal: stable order 0 then 2.
+    EXPECT_EQ(sorted[1].payload, 0);
+    EXPECT_EQ(sorted[2].payload, 2);
+    EXPECT_EQ(sorted[3].payload, 3);
+}
+
+TEST(QuadSort, RandomAgainstStdStableSort)
+{
+    std::mt19937_64 rng(17);
+    std::uniform_real_distribution<float> d(-100.0f, 100.0f);
+    for (int iter = 0; iter < 20000; ++iter) {
+        std::array<SortRecord<uint8_t>, 4> recs;
+        for (int i = 0; i < 4; ++i)
+            recs[size_t(i)] = {toBits(d(rng)), uint8_t(i)};
+        auto net = quadSort(recs);
+        auto ref = recs;
+        std::sort(ref.begin(), ref.end(),
+                         [](const auto &a, const auto &b) {
+                             return ltF32(a.key, b.key);
+                         });
+        for (int i = 0; i < 4; ++i) {
+            ASSERT_EQ(net[size_t(i)].key, ref[size_t(i)].key);
+            ASSERT_EQ(net[size_t(i)].payload, ref[size_t(i)].payload);
+        }
+    }
+}

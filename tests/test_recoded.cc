@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the 33-bit recoded floating-point format (Section III-F).
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fp/recoded.hh"
+
+using namespace rayflex::fp;
+
+TEST(Recoded, SpecialValueEncodings)
+{
+    EXPECT_TRUE(isZeroRec(recode(kPosZero)));
+    EXPECT_TRUE(isZeroRec(recode(kNegZero)));
+    EXPECT_TRUE(signRec(recode(kNegZero)));
+    EXPECT_FALSE(signRec(recode(kPosZero)));
+    EXPECT_TRUE(isInfRec(recode(kPosInf)));
+    EXPECT_TRUE(isInfRec(recode(kNegInf)));
+    EXPECT_TRUE(isNaNRec(recode(kDefaultNaN)));
+}
+
+TEST(Recoded, ExponentCodesAreDisjoint)
+{
+    // Finite nonzero exponents can never collide with the zero/inf/NaN
+    // codes: trueExp in [-149, 127] maps to [0x6B, 0x17F].
+    EXPECT_EQ(expRec(recode(kMinSubnormal)), 0x100u - 149u);
+    EXPECT_EQ(expRec(recode(kMaxFinite)), 0x100u + 127u);
+    EXPECT_LT(expRec(recode(kMaxFinite)), kRecExpInf);
+    EXPECT_GT(expRec(recode(kMinSubnormal)), kRecExpZero);
+}
+
+TEST(Recoded, SubnormalsAreNormalizedInside)
+{
+    // Every finite nonzero recoded value carries a normalized fraction;
+    // the smallest subnormal becomes 1.0 x 2^-149 with zero fraction.
+    Rec32 r = recode(kMinSubnormal);
+    EXPECT_EQ(fracRec(r), 0u);
+    // 3 * 2^-149: fraction 1.1b -> top fraction bit set.
+    Rec32 r3 = recode(0x00000003u);
+    EXPECT_EQ(fracRec(r3), 0x400000u);
+    EXPECT_EQ(expRec(r3), 0x100u - 148u);
+}
+
+TEST(Recoded, RoundTripExhaustiveBoundaryRegions)
+{
+    // Exhaustive round-trip over the subnormal range and the first
+    // normal binade, both signs, plus the top of the finite range.
+    for (uint32_t mag = 0; mag <= 0x01000000u; ++mag) {
+        ASSERT_EQ(decode(recode(mag)), mag);
+        F32 neg = mag | 0x80000000u;
+        ASSERT_EQ(decode(recode(neg)), neg);
+    }
+    for (uint32_t mag = 0x7F000000u; mag < 0x7F800000u; ++mag)
+        ASSERT_EQ(decode(recode(mag)), mag);
+}
+
+TEST(Recoded, RoundTripRandom)
+{
+    std::mt19937_64 rng(99);
+    for (int i = 0; i < 2000000; ++i) {
+        F32 v = static_cast<F32>(rng());
+        F32 back = decode(recode(v));
+        if (isNaNF32(v))
+            ASSERT_TRUE(isNaNF32(back)); // payload may be canonicalized
+        else
+            ASSERT_EQ(back, v) << std::hex << v;
+    }
+}
+
+TEST(Recoded, FiniteOrderingIsMonotonicInExponentCode)
+{
+    // The recoding exists to make comparison circuits trivial: for
+    // positive finite values, (exp, frac) lexicographic order equals
+    // numeric order.
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 200000; ++i) {
+        F32 a = static_cast<F32>(rng()) & 0x7FFFFFFFu;
+        F32 b = static_cast<F32>(rng()) & 0x7FFFFFFFu;
+        if (!isFiniteF32(a) || !isFiniteF32(b))
+            continue;
+        Rec32 ra = recode(a), rb = recode(b);
+        uint64_t ka = (uint64_t(expRec(ra)) << 23) | fracRec(ra);
+        uint64_t kb = (uint64_t(expRec(rb)) << 23) | fracRec(rb);
+        ASSERT_EQ(ka < kb, ltF32(a, b));
+    }
+}
+
+TEST(Recoded, ArithmeticMatchesF32)
+{
+    std::mt19937_64 rng(13);
+    for (int i = 0; i < 200000; ++i) {
+        F32 a = static_cast<F32>(rng());
+        F32 b = static_cast<F32>(rng());
+        F32 via_rec = decode(addRec(recode(a), recode(b)));
+        F32 direct = addF32(a, b);
+        if (isNaNF32(direct))
+            ASSERT_TRUE(isNaNF32(via_rec));
+        else
+            ASSERT_EQ(via_rec, direct);
+
+        via_rec = decode(mulRec(recode(a), recode(b)));
+        direct = mulF32(a, b);
+        if (isNaNF32(direct))
+            ASSERT_TRUE(isNaNF32(via_rec));
+        else
+            ASSERT_EQ(via_rec, direct);
+    }
+}
+
+TEST(Recoded, ComparisonSemantics)
+{
+    Rec32 one = recode(toBits(1.0f));
+    Rec32 two = recode(toBits(2.0f));
+    Rec32 nan = recNaN();
+    EXPECT_TRUE(ltRec(one, two));
+    EXPECT_TRUE(leRec(one, one));
+    EXPECT_TRUE(gtRec(two, one));
+    EXPECT_TRUE(geRec(two, two));
+    EXPECT_FALSE(ltRec(nan, one));
+    EXPECT_FALSE(leRec(nan, one));
+    EXPECT_FALSE(gtRec(nan, one));
+    EXPECT_FALSE(geRec(one, nan));
+    EXPECT_TRUE(isNaNRec(maxPropRec(nan, one)));
+    EXPECT_TRUE(isNaNRec(minPropRec(one, nan)));
+}
+
+TEST(Recoded, WidthIs33Bits)
+{
+    std::mt19937_64 rng(5);
+    for (int i = 0; i < 100000; ++i) {
+        Rec32 r = recode(static_cast<F32>(rng()));
+        ASSERT_EQ(r.bits >> kRec32Width, 0u);
+    }
+}

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests of the synthesis model: netlist structural invariants, the
+ * Fig. 4c / Fig. 6c asset tables, dead-node-elimination liveness, and
+ * the headline area/power relationships of the paper's evaluation
+ * (checked as tolerance bands so the reproduction's shape is enforced
+ * by CI).
+ */
+#include <gtest/gtest.h>
+
+#include "synth/area.hh"
+#include "synth/netlist.hh"
+#include "synth/power.hh"
+
+using namespace rayflex::synth;
+using namespace rayflex::core;
+
+namespace
+{
+
+Netlist
+net(const DatapathConfig &c)
+{
+    return Netlist::build(c);
+}
+
+double
+areaAt(const DatapathConfig &c, double ghz = 1.0)
+{
+    return AreaModel().estimate(net(c), ghz).total();
+}
+
+double
+powerOf(const DatapathConfig &c, Opcode op, double ghz = 1.0)
+{
+    return PowerModel().estimateFullThroughput(net(c), op, ghz).total();
+}
+
+} // namespace
+
+// ----- asset tables match Fig. 4c / Fig. 6c -----
+
+TEST(NetlistAssets, BaselineUnifiedMatchesFig4c)
+{
+    Netlist n = net(kBaselineUnified);
+    // Stage indices are 0-based.
+    EXPECT_EQ(n.stages[1].provisioned.adders, 24u);
+    EXPECT_EQ(n.stages[2].provisioned.multipliers, 24u);
+    EXPECT_EQ(n.stages[3].provisioned.comparators, 40u);
+    EXPECT_EQ(n.stages[3].provisioned.adders, 6u);
+    EXPECT_EQ(n.stages[4].provisioned.multipliers, 6u);
+    EXPECT_EQ(n.stages[5].provisioned.adders, 3u);
+    EXPECT_EQ(n.stages[6].provisioned.multipliers, 3u);
+    EXPECT_EQ(n.stages[7].provisioned.adders, 2u);
+    EXPECT_EQ(n.stages[8].provisioned.adders, 2u);
+    EXPECT_EQ(n.stages[9].provisioned.sort_cmps, 10u); // 2 QuadSorts
+    EXPECT_EQ(n.stages[9].provisioned.comparators, 5u);
+    EXPECT_GT(n.stages[0].provisioned.converters, 0u);
+    EXPECT_GT(n.stages[10].provisioned.converters, 0u);
+}
+
+TEST(NetlistAssets, ExtendedUnifiedAddsFig6cAssets)
+{
+    Netlist b = net(kBaselineUnified);
+    Netlist e = net(kExtendedUnified);
+    // "+2 Adders" at stage 4, "+1 Adder" at stage 6, "+1 Adder" at
+    // stage 10, registers at stages 9/10.
+    EXPECT_EQ(e.stages[3].provisioned.adders,
+              b.stages[3].provisioned.adders + 2);
+    EXPECT_EQ(e.stages[5].provisioned.adders,
+              b.stages[5].provisioned.adders + 1);
+    EXPECT_EQ(e.stages[9].provisioned.adders,
+              b.stages[9].provisioned.adders + 1);
+    EXPECT_EQ(e.stages[8].state_bits, 66u);
+    EXPECT_EQ(e.stages[9].state_bits, 33u);
+    EXPECT_EQ(b.stages[8].state_bits, 0u);
+    // No multiplier/comparator additions.
+    for (int s = 0; s < int(kNumStages); ++s) {
+        EXPECT_EQ(e.stages[s].provisioned.multipliers,
+                  b.stages[s].provisioned.multipliers)
+            << "stage " << s;
+    }
+}
+
+TEST(NetlistAssets, PeakOpsPerCycleIs125)
+{
+    // Section IV-B counts every adder, multiplier and comparator
+    // (QuadSort = 5 comparators each) in the baseline-unified design as
+    // one op/cycle, excluding format converters: 125 total.
+    FuCounts fu = net(kBaselineUnified).totalFus();
+    unsigned ops = fu.adders + fu.multipliers + fu.squarers +
+                   fu.comparators + fu.sort_cmps;
+    EXPECT_EQ(ops, 125u);
+}
+
+// ----- structural invariants -----
+
+TEST(NetlistInvariants, DisjointProvisionsAtLeastUnified)
+{
+    for (bool ext : {false, true}) {
+        Netlist u = net({ext, false, false});
+        Netlist d = net({ext, true, false});
+        for (int s = 0; s < int(kNumStages); ++s) {
+            const auto &pu = u.stages[s].provisioned;
+            const auto &pd = d.stages[s].provisioned;
+            EXPECT_GE(pd.adders, pu.adders);
+            EXPECT_GE(pd.multipliers + pd.squarers,
+                      pu.multipliers + pu.squarers);
+            EXPECT_GE(pd.comparators, pu.comparators);
+            EXPECT_GE(pd.converters, pu.converters);
+        }
+    }
+}
+
+TEST(NetlistInvariants, ExtendedProvisionsAtLeastBaseline)
+{
+    for (bool dis : {false, true}) {
+        Netlist b = net({false, dis, false});
+        Netlist e = net({true, dis, false});
+        for (int s = 0; s < int(kNumStages); ++s) {
+            EXPECT_GE(e.stages[s].provisioned.adders,
+                      b.stages[s].provisioned.adders);
+            EXPECT_GE(e.stages[s].reg_bits, b.stages[s].reg_bits);
+        }
+        EXPECT_GE(e.totalSequentialBits(), b.totalSequentialBits());
+    }
+}
+
+TEST(NetlistInvariants, SequentialBitsIndependentOfFuSharing)
+{
+    // RayFlex registers per-op fields disjointly regardless of the FU
+    // strategy (Section VII-A).
+    EXPECT_EQ(net(kBaselineUnified).totalSequentialBits(),
+              net(kBaselineDisjoint).totalSequentialBits());
+    EXPECT_EQ(net(kExtendedUnified).totalSequentialBits(),
+              net(kExtendedDisjoint).totalSequentialBits());
+}
+
+TEST(NetlistInvariants, SquarersOnlyInDisjointExtended)
+{
+    EXPECT_EQ(net(kBaselineUnified).totalFus().squarers, 0u);
+    EXPECT_EQ(net(kBaselineDisjoint).totalFus().squarers, 0u);
+    EXPECT_EQ(net(kExtendedUnified).totalFus().squarers, 0u);
+    EXPECT_EQ(net(kExtendedDisjoint).totalFus().squarers, 24u);
+    // The perturbation ablation removes them.
+    DatapathConfig pert = kExtendedDisjoint;
+    pert.perturb_squarers = true;
+    EXPECT_EQ(net(pert).totalFus().squarers, 0u);
+}
+
+TEST(NetlistInvariants, UsageNeverExceedsProvision)
+{
+    for (const auto &cfg : {kBaselineUnified, kBaselineDisjoint,
+                            kExtendedUnified, kExtendedDisjoint}) {
+        Netlist n = net(cfg);
+        const size_t ops = cfg.extended ? kNumOpcodes : 2;
+        for (int s = 0; s < int(kNumStages); ++s) {
+            for (size_t o = 0; o < ops; ++o) {
+                const auto &u = n.stages[s].used[o];
+                const auto &p = n.stages[s].provisioned;
+                EXPECT_LE(u.adders, p.adders);
+                EXPECT_LE(u.multipliers + u.squarers,
+                          p.multipliers + p.squarers);
+                EXPECT_LE(u.comparators, p.comparators);
+                EXPECT_LE(u.sort_cmps, p.sort_cmps);
+                EXPECT_LE(u.converters, p.converters);
+            }
+        }
+    }
+}
+
+TEST(NetlistInvariants, LivenessMonotoneDecreasingLate)
+{
+    // Once an op's dataflow has reduced (after stage 4), its live bits
+    // never grow again - reductions only shrink state.
+    for (Opcode op : {Opcode::RayBox, Opcode::Euclidean, Opcode::Cosine}) {
+        for (unsigned s = 4; s + 2 < kNumStages; ++s) {
+            EXPECT_LE(liveBits(op, s + 1), liveBits(op, s) + 8)
+                << opcodeName(op) << " stage " << s;
+        }
+    }
+}
+
+// ----- the paper's headline area relationships (Fig. 7) -----
+
+TEST(PaperArea, HeadlineRatiosAt1GHz)
+{
+    double bu = areaAt(kBaselineUnified);
+    double bd = areaAt(kBaselineDisjoint);
+    double eu = areaAt(kExtendedUnified);
+    double ed = areaAt(kExtendedDisjoint);
+
+    // disjoint: about +13%
+    EXPECT_NEAR(bd / bu, 1.13, 0.04);
+    // extended: about +36% (the component ratios the paper also reports
+    // imply ~+30%; accept the band between them)
+    EXPECT_NEAR(eu / bu, 1.33, 0.06);
+    // both: about +92%
+    EXPECT_NEAR(ed / bu, 1.92, 0.10);
+    // extended-disjoint vs baseline-disjoint: about +70%
+    EXPECT_NEAR(ed / bd, 1.70, 0.08);
+}
+
+TEST(PaperArea, ComponentRatios)
+{
+    AreaModel m;
+    auto bu = m.estimate(net(kBaselineUnified), 1.0);
+    auto bd = m.estimate(net(kBaselineDisjoint), 1.0);
+    auto eu = m.estimate(net(kExtendedUnified), 1.0);
+    auto ed = m.estimate(net(kExtendedDisjoint), 1.0);
+
+    // Sequential area constant under FU-sharing changes...
+    EXPECT_NEAR(bd.sequential / bu.sequential, 1.0, 0.01);
+    EXPECT_NEAR(ed.sequential / eu.sequential, 1.0, 0.01);
+    // ...and grows ~64% when ops are added, regardless of sharing.
+    EXPECT_NEAR(eu.sequential / bu.sequential, 1.64, 0.08);
+    EXPECT_NEAR(ed.sequential / bd.sequential, 1.64, 0.08);
+
+    // Logic area: +18% / +74% going disjoint (baseline/extended).
+    EXPECT_NEAR(bd.logic / bu.logic, 1.18, 0.05);
+    EXPECT_NEAR(ed.logic / eu.logic, 1.74, 0.10);
+    // Logic area: +17% / +72% adding ops (unified/disjoint).
+    EXPECT_NEAR(eu.logic / bu.logic, 1.17, 0.05);
+    EXPECT_NEAR(ed.logic / bd.logic, 1.72, 0.10);
+}
+
+TEST(PaperArea, InsensitiveToClockTarget)
+{
+    for (const auto &cfg : {kBaselineUnified, kExtendedDisjoint}) {
+        double lo = areaAt(cfg, 0.5);
+        double hi = areaAt(cfg, 1.5);
+        EXPECT_LT(hi / lo, 1.10) << cfg.name();
+        EXPECT_GE(hi, lo) << cfg.name();
+    }
+}
+
+// ----- the paper's headline power relationships (Figs. 8 and 9) -----
+
+TEST(PaperPower, AllModesInPlausibleRange)
+{
+    for (const auto &cfg : {kBaselineUnified, kBaselineDisjoint,
+                            kExtendedUnified, kExtendedDisjoint}) {
+        std::vector<Opcode> ops = {Opcode::RayBox, Opcode::RayTriangle};
+        if (cfg.extended) {
+            ops.push_back(Opcode::Euclidean);
+            ops.push_back(Opcode::Cosine);
+        }
+        for (Opcode op : ops) {
+            double w = powerOf(cfg, op);
+            EXPECT_GT(w, 0.050) << cfg.name() << " " << opcodeName(op);
+            EXPECT_LT(w, 0.095) << cfg.name() << " " << opcodeName(op);
+        }
+    }
+}
+
+TEST(PaperPower, ExtensionOverheadOnIntersectionOps)
+{
+    // Extended vs baseline (unified): +18% box, +20% triangle.
+    double box = powerOf(kExtendedUnified, Opcode::RayBox) /
+                 powerOf(kBaselineUnified, Opcode::RayBox);
+    double tri = powerOf(kExtendedUnified, Opcode::RayTriangle) /
+                 powerOf(kBaselineUnified, Opcode::RayTriangle);
+    EXPECT_NEAR(box, 1.18, 0.05);
+    EXPECT_NEAR(tri, 1.20, 0.05);
+    // Triangle ops use fewer FUs, so the fixed register overhead weighs
+    // more: the triangle ratio exceeds the box ratio.
+    EXPECT_GT(tri, box);
+}
+
+TEST(PaperPower, DisjointBarelyChangesIntersectionPower)
+{
+    // Zero-gated private FUs: within +/-2.5% for box/triangle.
+    for (bool ext : {false, true}) {
+        DatapathConfig u{ext, false, false};
+        DatapathConfig d{ext, true, false};
+        for (Opcode op : {Opcode::RayBox, Opcode::RayTriangle}) {
+            double r = powerOf(d, op) / powerOf(u, op);
+            EXPECT_NEAR(r, 1.0, 0.025)
+                << (ext ? "extended " : "baseline ") << opcodeName(op);
+        }
+    }
+}
+
+TEST(PaperPower, SquarerSpecializationSavesDistancePower)
+{
+    // Disjoint vs unified (extended): about -9% Euclidean, -3% cosine.
+    double euc = powerOf(kExtendedDisjoint, Opcode::Euclidean) /
+                 powerOf(kExtendedUnified, Opcode::Euclidean);
+    double cos = powerOf(kExtendedDisjoint, Opcode::Cosine) /
+                 powerOf(kExtendedUnified, Opcode::Cosine);
+    EXPECT_NEAR(euc, 0.91, 0.03);
+    EXPECT_NEAR(cos, 0.97, 0.03);
+    // Euclidean (16 squarers) saves about twice as much as cosine (8).
+    EXPECT_LT(euc, cos);
+}
+
+TEST(PaperPower, PerturbationRemovesTheSaving)
+{
+    // Section VII-B: perturbing stage-3 wiring so no multiplier sees
+    // tied inputs makes disjoint Euclidean power slightly *higher* than
+    // unified (+1.9% in the paper).
+    DatapathConfig pert = kExtendedDisjoint;
+    pert.perturb_squarers = true;
+    double r = powerOf(pert, Opcode::Euclidean) /
+               powerOf(kExtendedUnified, Opcode::Euclidean);
+    EXPECT_GT(r, 1.0);
+    EXPECT_NEAR(r, 1.019, 0.02);
+}
+
+TEST(PaperPower, NearlyLinearInFrequency)
+{
+    // Fig. 9: ray-triangle power is nearly linear over 0.5-1.5 GHz.
+    for (const auto &cfg : {kBaselineUnified, kExtendedDisjoint}) {
+        double p05 = powerOf(cfg, Opcode::RayTriangle, 0.5);
+        double p10 = powerOf(cfg, Opcode::RayTriangle, 1.0);
+        double p15 = powerOf(cfg, Opcode::RayTriangle, 1.5);
+        EXPECT_GT(p10, p05);
+        EXPECT_GT(p15, p10);
+        // Midpoint within 10% of the linear interpolation.
+        double lin = (p05 + p15) / 2.0;
+        EXPECT_NEAR(p10 / lin, 1.0, 0.10) << cfg.name();
+    }
+}
+
+TEST(PaperPower, FrequencySweepGapsMatchFig9)
+{
+    // Across the sweep: unified-vs-disjoint within +/-4%;
+    // baseline-vs-extended between 14% and 22%.
+    for (double f : {0.5, 0.75, 1.0, 1.25, 1.5}) {
+        double u = powerOf(kBaselineUnified, Opcode::RayTriangle, f);
+        double d = powerOf(kBaselineDisjoint, Opcode::RayTriangle, f);
+        double e = powerOf(kExtendedUnified, Opcode::RayTriangle, f);
+        EXPECT_NEAR(d / u, 1.0, 0.04) << f;
+        EXPECT_GT(e / u, 1.13) << f;
+        EXPECT_LT(e / u, 1.23) << f;
+    }
+}
+
+TEST(PowerModel, ActivityScalesWithDutyCycle)
+{
+    // Half-duty traffic spends about half the FU energy but full
+    // register clock power.
+    Netlist n = net(kBaselineUnified);
+    PowerModel m;
+    rayflex::core::ActivityTrace full, half;
+    full.cycles = 1000;
+    full.beats[size_t(Opcode::RayBox)] = 1000;
+    half.cycles = 1000;
+    half.beats[size_t(Opcode::RayBox)] = 500;
+    auto pf = m.estimate(n, full, 1.0);
+    auto ph = m.estimate(n, half, 1.0);
+    EXPECT_NEAR(ph.fu_dynamic / pf.fu_dynamic, 0.5, 1e-9);
+    EXPECT_NEAR(ph.reg_dynamic / pf.reg_dynamic, 1.0, 1e-9);
+    EXPECT_LT(ph.total(), pf.total());
+}
+
+TEST(PowerModel, StaticPowerIsOrderOfMagnitudeBelowDynamic)
+{
+    auto p = PowerModel().estimateFullThroughput(net(kBaselineUnified),
+                                                 Opcode::RayBox, 1.0);
+    double dynamic = p.fu_dynamic + p.reg_dynamic + p.route_dynamic;
+    EXPECT_LT(p.static_power, dynamic / 5.0);
+    EXPECT_GT(p.static_power, dynamic / 50.0);
+}
