@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Multi-threaded engine throughput: host-side rays/second of the
+ * sharded batch simulation engine (sim::Engine) across worker counts,
+ * in both execution models, plus the sharding overhead of the
+ * single-thread engine path against the bare single-unit loop. The
+ * thread-count sweep is the scaling evidence for the engine: per-ray
+ * results are bit-identical at every point (tests/test_sim_engine.cc),
+ * so every column of this benchmark computes the same answer.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bvh/scene.hh"
+#include "sim/engine.hh"
+
+using namespace rayflex;
+using namespace rayflex::bvh;
+using namespace rayflex::core;
+
+namespace
+{
+
+const Bvh4 &
+benchScene()
+{
+    static Bvh4 bvh = [] {
+        auto tris = makeTerrain(20.0f, 32, 0.5f, 11);
+        uint32_t id = uint32_t(tris.size());
+        auto sphere = makeSphere({0, 2.0f, 0}, 2.0f, 16, 24, id);
+        tris.insert(tris.end(), sphere.begin(), sphere.end());
+        return buildBvh4(std::move(tris));
+    }();
+    return bvh;
+}
+
+std::vector<Ray>
+benchRays(unsigned side)
+{
+    const Bvh4 &bvh = benchScene();
+    Camera cam;
+    Vec3 c = bvh.root_bounds.centre();
+    Vec3 ext = bvh.root_bounds.hi - bvh.root_bounds.lo;
+    cam.look_at = c;
+    cam.eye = c + Vec3{0.4f * ext.x, 0.5f * ext.y, 1.3f * ext.z};
+    cam.width = side;
+    cam.height = side;
+    std::vector<Ray> rays;
+    for (unsigned y = 0; y < side; ++y)
+        for (unsigned x = 0; x < side; ++x)
+            rays.push_back(cam.primaryRay(x, y, 1000.0f));
+    return rays;
+}
+
+} // namespace
+
+static void
+BM_EngineCycleAccurate(benchmark::State &state)
+{
+    const Bvh4 &bvh = benchScene();
+    auto rays = benchRays(24);
+    sim::EngineConfig cfg;
+    cfg.threads = unsigned(state.range(0));
+    cfg.batch_size = 64;
+    for (auto _ : state) {
+        auto rep = sim::Engine(cfg).run(bvh, rays);
+        benchmark::DoNotOptimize(rep.unit.cycles);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rays.size()));
+    state.counters["rays/s"] = benchmark::Counter(
+        double(state.iterations()) * double(rays.size()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineCycleAccurate)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+static void
+BM_EngineFunctional(benchmark::State &state)
+{
+    const Bvh4 &bvh = benchScene();
+    auto rays = benchRays(48);
+    sim::EngineConfig cfg;
+    cfg.threads = unsigned(state.range(0));
+    cfg.batch_size = 256;
+    cfg.model = sim::ExecutionModel::Functional;
+    for (auto _ : state) {
+        auto rep = sim::Engine(cfg).run(bvh, rays);
+        benchmark::DoNotOptimize(rep.traversal.box_ops);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rays.size()));
+    state.counters["rays/s"] = benchmark::Counter(
+        double(state.iterations()) * double(rays.size()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineFunctional)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+static void
+BM_SingleUnitBaseline(benchmark::State &state)
+{
+    // The unsharded path the engine replaces: one RtUnit, every ray in
+    // one submission. Comparing against BM_EngineCycleAccurate/1
+    // isolates the engine's sharding overhead.
+    const Bvh4 &bvh = benchScene();
+    auto rays = benchRays(24);
+    for (auto _ : state) {
+        RayFlexDatapath dp(kBaselineUnified);
+        RtUnit unit(bvh, dp);
+        for (uint32_t i = 0; i < rays.size(); ++i)
+            unit.submit(rays[i], i);
+        benchmark::DoNotOptimize(unit.run().cycles);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rays.size()));
+    state.counters["rays/s"] = benchmark::Counter(
+        double(state.iterations()) * double(rays.size()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SingleUnitBaseline)->Unit(benchmark::kMillisecond);

@@ -16,6 +16,7 @@
 #include "core/datapath.hh"
 #include "core/golden.hh"
 #include "core/workloads.hh"
+#include "sim/engine.hh"
 
 using namespace rayflex::core;
 using namespace rayflex::fp;
@@ -138,3 +139,73 @@ BM_Traversal(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()));
 }
 BENCHMARK(BM_Traversal);
+
+namespace
+{
+
+/** The bench_throughput traversal workload, batch form: the BM_Traversal
+ *  scene and ray distribution, materialized so the sharded engine can
+ *  replay it at any worker count. */
+std::vector<Ray>
+throughputRays(size_t n)
+{
+    std::mt19937_64 rng(8);
+    std::uniform_real_distribution<float> p(-6.0f, 6.0f);
+    std::vector<Ray> rays;
+    rays.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        rays.push_back(makeRay(p(rng), p(rng), 8.0f, 0.1f * p(rng),
+                               0.1f * p(rng), -1.0f, 0.0f, 100.0f));
+    return rays;
+}
+
+} // namespace
+
+static void
+BM_EngineTraversal(benchmark::State &state)
+{
+    // The sharded engine on the BM_Traversal workload; Arg = worker
+    // threads. Per-ray hits are bit-identical at every Arg, so the
+    // rays/s column measures pure host-side scaling.
+    auto bvh = rayflex::bvh::buildBvh4(
+        rayflex::bvh::makeSphere({0, 0, 0}, 3.0f, 24, 32));
+    auto rays = throughputRays(4096);
+    rayflex::sim::EngineConfig cfg;
+    cfg.threads = unsigned(state.range(0));
+    cfg.batch_size = 256;
+    cfg.model = rayflex::sim::ExecutionModel::Functional;
+    for (auto _ : state) {
+        auto rep = rayflex::sim::Engine(cfg).run(bvh, rays);
+        benchmark::DoNotOptimize(rep.traversal.box_ops);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rays.size()));
+    state.counters["rays/s"] = benchmark::Counter(
+        double(state.iterations()) * double(rays.size()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineTraversal)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+static void
+BM_PipelinedSimulationSharded(benchmark::State &state)
+{
+    // The BM_PipelinedSimulation workload replayed batch-at-a-time
+    // through per-batch datapath instances - the engine's sharding
+    // idiom applied to a raw beat stimulus. The gap to
+    // BM_PipelinedSimulation is the per-batch pipeline fill/drain cost.
+    WorkloadGen gen(6);
+    auto slices = sliceWorkload(gen.batch(Opcode::RayBox, 512), 128);
+    for (auto _ : state) {
+        size_t total = 0;
+        for (const auto &s : slices) {
+            RayFlexDatapath dp(kExtendedUnified);
+            total += runBatch(dp, s).size();
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 512);
+}
+BENCHMARK(BM_PipelinedSimulationSharded)->Unit(benchmark::kMillisecond);

@@ -5,13 +5,17 @@
  * The graphics workload from the paper's introduction: primary rays
  * from a pinhole camera traverse a 4-wide BVH; every intersection
  * decision (ray-box and ray-triangle) is computed by the RayFlex
- * datapath model. Simple Lambertian shading with a shadow ray per hit
- * (also traced through the datapath) writes a PPM image, and the
- * datapath-beat statistics are reported - the quantity a hardware
- * architect cares about.
+ * datapath model. Rendering is engine-driven and two-pass: all primary
+ * rays are sharded across worker threads by sim::Engine, shading then
+ * emits one shadow ray per hit pixel and the shadow batch goes through
+ * the engine as a second pass. Simple Lambertian shading writes a PPM
+ * image, and the merged datapath-beat statistics are reported - the
+ * quantity a hardware architect cares about. The image is bit-identical
+ * for every value of [threads].
  *
- * Usage: render_scene [width] [height] [scene] [out.ppm]
+ * Usage: render_scene [width] [height] [scene] [out.ppm] [threads]
  *   scene: sphere | torus | terrain | mixed (default mixed)
+ *   threads: engine workers, 0 = all cores (default 0)
  */
 #include <cstdio>
 #include <cstring>
@@ -20,8 +24,9 @@
 
 #include "bvh/builder.hh"
 #include "bvh/scene.hh"
-#include "bvh/traversal.hh"
+#include "sim/engine.hh"
 
+using namespace rayflex;
 using namespace rayflex::bvh;
 using namespace rayflex::core;
 
@@ -57,6 +62,7 @@ main(int argc, char **argv)
     unsigned height = argc > 2 ? unsigned(atoi(argv[2])) : 120;
     std::string scene_name = argc > 3 ? argv[3] : "mixed";
     std::string out_path = argc > 4 ? argv[4] : "render.ppm";
+    unsigned threads = argc > 5 ? unsigned(atoi(argv[5])) : 0;
 
     auto tris = buildScene(scene_name);
     Bvh4 bvh = buildBvh4(tris);
@@ -73,19 +79,69 @@ main(int argc, char **argv)
     cam.height = height;
 
     const Vec3 light_dir = normalize({0.5f, 1.0f, 0.3f});
-    Traverser trav(bvh);
+
+    sim::EngineConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.batch_size = 2048;
+    ecfg.model = sim::ExecutionModel::Functional;
+    sim::Engine engine(ecfg);
+
+    // ---- pass 1: every primary ray through the sharded engine ----
+    std::vector<Ray> primary;
+    primary.reserve(size_t(width) * height);
+    for (unsigned y = 0; y < height; ++y)
+        for (unsigned x = 0; x < width; ++x)
+            primary.push_back(cam.primaryRay(x, y, 1000.0f));
+    sim::EngineReport prim = engine.run(bvh, primary);
 
     // Triangle lookup by id (ids survive the builder's reordering).
     std::vector<const SceneTriangle *> by_id(bvh.tris.size());
     for (const auto &t : bvh.tris)
         by_id[t.id] = &t;
-    std::vector<unsigned char> img(size_t(width) * height * 3);
-    size_t shadow_rays = 0, shaded = 0;
 
+    // ---- shading prologue: diffuse terms, shadow batch ----
+    std::vector<float> diffuse(primary.size(), 0.0f);
+    std::vector<Ray> shadow_rays;
+    std::vector<size_t> shadow_pixel; // shadow ray -> pixel index
+    for (size_t i = 0; i < primary.size(); ++i) {
+        const HitRecord &hit = prim.hits[i];
+        if (!hit.hit)
+            continue;
+        const Ray &ray = primary[i];
+        const SceneTriangle *hit_tri = by_id[hit.triangle_id];
+        Vec3 n = normalize(cross(hit_tri->v1 - hit_tri->v0,
+                                 hit_tri->v2 - hit_tri->v0));
+        Vec3 org{fp::fromBits(ray.origin[0]), fp::fromBits(ray.origin[1]),
+                 fp::fromBits(ray.origin[2])};
+        Vec3 dir{fp::fromBits(ray.dir[0]), fp::fromBits(ray.dir[1]),
+                 fp::fromBits(ray.dir[2])};
+        if (dot(n, dir) > 0)
+            n = n * -1.0f;
+        Vec3 p = org + dir * hit.t;
+        diffuse[i] = std::max(0.0f, dot(n, light_dir));
+
+        Vec3 sp = p + n * 1e-3f;
+        shadow_rays.push_back(makeRay(sp.x, sp.y, sp.z, light_dir.x,
+                                      light_dir.y, light_dir.z, 1e-3f,
+                                      1000.0f));
+        shadow_pixel.push_back(i);
+    }
+
+    // ---- pass 2: the shadow batch, any-hit (first occluder wins) ----
+    sim::EngineConfig scfg = ecfg;
+    scfg.any_hit = true;
+    sim::EngineReport shad = sim::Engine(scfg).run(bvh, shadow_rays);
+    std::vector<uint8_t> lit(primary.size(), 0);
+    for (size_t s = 0; s < shadow_rays.size(); ++s)
+        lit[shadow_pixel[s]] = shad.hits[s].hit ? 0 : 1;
+
+    // ---- resolve to the image ----
+    std::vector<unsigned char> img(size_t(width) * height * 3);
+    size_t shaded = 0;
     for (unsigned y = 0; y < height; ++y) {
         for (unsigned x = 0; x < width; ++x) {
-            Ray ray = cam.primaryRay(x, y, 1000.0f);
-            HitRecord hit = trav.closestHit(ray);
+            size_t i = size_t(y) * width + x;
+            const HitRecord &hit = prim.hits[i];
             float r, g, b;
             if (!hit.hit) {
                 // Sky gradient.
@@ -95,38 +151,15 @@ main(int argc, char **argv)
                 b = 0.90f;
             } else {
                 ++shaded;
-                // Reconstruct the hit point and the geometric normal of
-                // the hit triangle (GPU-core-side shading math).
-                const SceneTriangle *hit_tri = by_id[hit.triangle_id];
-                Vec3 n = normalize(cross(hit_tri->v1 - hit_tri->v0,
-                                         hit_tri->v2 - hit_tri->v0));
-                Vec3 org{rayflex::fp::fromBits(ray.origin[0]),
-                         rayflex::fp::fromBits(ray.origin[1]),
-                         rayflex::fp::fromBits(ray.origin[2])};
-                Vec3 dir{rayflex::fp::fromBits(ray.dir[0]),
-                         rayflex::fp::fromBits(ray.dir[1]),
-                         rayflex::fp::fromBits(ray.dir[2])};
-                if (dot(n, dir) > 0)
-                    n = n * -1.0f;
-                Vec3 p = org + dir * hit.t;
-
-                // Shadow ray through the same datapath.
-                Vec3 sp = p + n * 1e-3f;
-                Ray shadow = makeRay(sp.x, sp.y, sp.z, light_dir.x,
-                                     light_dir.y, light_dir.z, 1e-3f,
-                                     1000.0f);
-                ++shadow_rays;
-                bool lit = !trav.anyHit(shadow);
-
-                float diff = std::max(0.0f, dot(n, light_dir));
-                float shade = 0.15f + (lit ? 0.85f * diff : 0.0f);
+                float shade =
+                    0.15f + (lit[i] ? 0.85f * diffuse[i] : 0.0f);
                 // Stable per-triangle albedo from the id.
                 uint32_t h = hit.triangle_id * 2654435761u;
                 r = shade * (0.4f + 0.6f * float((h >> 0) & 0xFF) / 255);
                 g = shade * (0.4f + 0.6f * float((h >> 8) & 0xFF) / 255);
                 b = shade * (0.4f + 0.6f * float((h >> 16) & 0xFF) / 255);
             }
-            size_t idx = (size_t(y) * width + x) * 3;
+            size_t idx = i * 3;
             img[idx + 0] = static_cast<unsigned char>(
                 255.0f * std::min(1.0f, r));
             img[idx + 1] = static_cast<unsigned char>(
@@ -142,10 +175,17 @@ main(int argc, char **argv)
             std::streamsize(img.size()));
     f.close();
 
-    const TraversalStats &st = trav.stats();
-    uint64_t rays = uint64_t(width) * height + shadow_rays;
+    TraversalStats st = prim.traversal;
+    st.merge(shad.traversal);
+    uint64_t rays = primary.size() + shadow_rays.size();
+    double wall = prim.elapsed_seconds + shad.elapsed_seconds;
     printf("wrote %s (%ux%u), %zu/%u pixels shaded\n", out_path.c_str(),
            width, height, shaded, width * height);
+    printf("engine: %u worker(s), %zu + %zu batches, %llu rays in "
+           "%.3f s (%.0f rays/s host-side)\n",
+           prim.threads_used, prim.batches, shad.batches,
+           (unsigned long long)rays, wall,
+           wall > 0 ? double(rays) / wall : 0.0);
     printf("datapath work: %llu ray-box beats, %llu ray-triangle beats "
            "over %llu rays\n",
            (unsigned long long)st.box_ops,

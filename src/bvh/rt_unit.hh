@@ -49,6 +49,25 @@ struct RtUnitStats
     {
         return cycles ? double(datapath_beats) / double(cycles) : 0.0;
     }
+
+    /** Accumulate another run's counters. Every field is a sum of
+     *  uint64 counts, so merging is commutative and associative: an
+     *  aggregate over many batches is identical no matter which worker
+     *  ran which batch or in what order the merges happen. */
+    RtUnitStats &
+    merge(const RtUnitStats &o)
+    {
+        cycles += o.cycles;
+        rays_completed += o.rays_completed;
+        datapath_beats += o.datapath_beats;
+        datapath_idle += o.datapath_idle;
+        mem_requests += o.mem_requests;
+        stall_on_memory += o.stall_on_memory;
+        return *this;
+    }
+
+    friend bool operator==(const RtUnitStats &,
+                           const RtUnitStats &) = default;
 };
 
 /**

@@ -28,6 +28,9 @@ struct HitRecord
     float t = 0;           ///< distance along the (unnormalized) ray
     uint32_t triangle_id = 0;
     float u = 0, v = 0, w = 0; ///< normalized barycentrics
+
+    friend bool operator==(const HitRecord &,
+                           const HitRecord &) = default;
 };
 
 /** Traversal statistics (datapath beats issued). */
@@ -37,6 +40,22 @@ struct TraversalStats
     uint64_t tri_ops = 0;  ///< ray-triangle beats
     uint64_t nodes_visited = 0;
     uint64_t max_stack = 0;
+
+    /** Accumulate another traverser's counters; counts sum, the stack
+     *  high-water mark takes the maximum. Both are commutative and
+     *  associative, so merge order never changes the aggregate. */
+    TraversalStats &
+    merge(const TraversalStats &o)
+    {
+        box_ops += o.box_ops;
+        tri_ops += o.tri_ops;
+        nodes_visited += o.nodes_visited;
+        max_stack = max_stack > o.max_stack ? max_stack : o.max_stack;
+        return *this;
+    }
+
+    friend bool operator==(const TraversalStats &,
+                           const TraversalStats &) = default;
 };
 
 /** BVH traversal engine. */

@@ -18,6 +18,11 @@
 #ifndef RAYFLEX_CORE_CONFIG_HH
 #define RAYFLEX_CORE_CONFIG_HH
 
+#if __cplusplus < 202002L
+#error "rayflex requires C++20 (std::countl_zero, defaulted operator==); \
+build through the provided CMakeLists.txt or pass -std=c++20"
+#endif
+
 #include <string>
 
 namespace rayflex::core

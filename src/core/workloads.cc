@@ -12,6 +12,30 @@ namespace rayflex::core
 
 using namespace rayflex::fp;
 
+std::vector<BatchRange>
+sliceBatches(size_t total, size_t batch_size)
+{
+    std::vector<BatchRange> out;
+    if (total == 0)
+        return out;
+    if (batch_size == 0)
+        batch_size = total;
+    out.reserve((total + batch_size - 1) / batch_size);
+    for (size_t begin = 0; begin < total; begin += batch_size)
+        out.push_back({begin, std::min(begin + batch_size, total)});
+    return out;
+}
+
+std::vector<std::vector<DatapathInput>>
+sliceWorkload(const std::vector<DatapathInput> &beats, size_t batch_size)
+{
+    std::vector<std::vector<DatapathInput>> out;
+    for (const BatchRange &r : sliceBatches(beats.size(), batch_size))
+        out.emplace_back(beats.begin() + std::ptrdiff_t(r.begin),
+                         beats.begin() + std::ptrdiff_t(r.end));
+    return out;
+}
+
 float
 WorkloadGen::uniform(float lo, float hi)
 {

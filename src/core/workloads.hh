@@ -22,6 +22,33 @@
 namespace rayflex::core
 {
 
+/** A contiguous [begin, end) slice of a workload. */
+struct BatchRange
+{
+    size_t begin = 0;
+    size_t end = 0;
+
+    size_t size() const { return end - begin; }
+
+    friend bool operator==(const BatchRange &,
+                           const BatchRange &) = default;
+};
+
+/**
+ * Shard `total` items into contiguous batches of at most `batch_size`
+ * items (the last batch may be short). The decomposition depends only
+ * on (total, batch_size) - never on who executes the batches - which is
+ * what makes sharded simulation results reproducible across worker
+ * counts. A zero batch_size yields one batch spanning everything; a
+ * zero total yields no batches.
+ */
+std::vector<BatchRange> sliceBatches(size_t total, size_t batch_size);
+
+/** Slice a generated beat workload into per-batch vectors (power and
+ *  throughput stimuli are replayed batch-at-a-time). */
+std::vector<std::vector<DatapathInput>>
+sliceWorkload(const std::vector<DatapathInput> &beats, size_t batch_size);
+
 /** Deterministic workload generator. */
 class WorkloadGen
 {

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Sharded multi-threaded batch simulation engine.
+ *
+ * The paper evaluates one RayFlex datapath at a time; serving a real
+ * rendering or search workload means simulating many rays against the
+ * same scene, and the cycle-accurate model is embarrassingly parallel
+ * across rays as long as each worker owns its own pipeline state. The
+ * engine shards a ray workload into fixed batches (core::sliceBatches),
+ * runs one bvh::RtUnit + core::RayFlexDatapath - or, in the functional
+ * model, one bvh::Traverser - per worker thread against a shared
+ * immutable Scene/BVH, and merges the per-batch statistics into an
+ * aggregate report.
+ *
+ * Determinism contract: per-ray hit records and the merged statistics
+ * are bit-identical for every thread count. Three properties make this
+ * hold, and the engine is structured around them:
+ *   1. the batch decomposition depends only on (ray count, batch_size),
+ *      never on the worker count;
+ *   2. each batch is simulated by a freshly constructed unit whose
+ *      evolution depends only on the batch contents and the shared BVH;
+ *   3. batch statistics are merged with commutative-associative sums
+ *      (RtUnitStats::merge / TraversalStats::merge), so the claim order
+ *      of batches by workers cannot change the aggregate.
+ */
+#ifndef RAYFLEX_SIM_ENGINE_HH
+#define RAYFLEX_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/rt_unit.hh"
+#include "core/workloads.hh"
+
+namespace rayflex::sim
+{
+
+/** How each batch is evaluated. */
+enum class ExecutionModel : uint8_t {
+    /** Cycle-accurate: a bvh::RtUnit drives a pipelined datapath, so the
+     *  report carries cycle counts, utilization and memory stalls. */
+    CycleAccurate,
+    /** Functional: a bvh::Traverser invokes the datapath arithmetic
+     *  directly (same intersection decisions, no timing). Orders of
+     *  magnitude faster; the model for image rendering and validation
+     *  sweeps. */
+    Functional,
+};
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    /** Worker threads; 0 picks std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+
+    /** Rays per batch. The batch layout - not the thread count - is the
+     *  unit of work distribution, so changing `threads` never changes
+     *  any result. 0 means one batch for the whole workload. */
+    size_t batch_size = 1024;
+
+    ExecutionModel model = ExecutionModel::CycleAccurate;
+
+    /** Any-hit (shadow-ray) queries: stop at the first intersection
+     *  inside the ray extent instead of resolving the closest one, so
+     *  occluded rays cost fewer beats. Functional model only (the
+     *  cycle-level RT unit models closest-hit traversal); hit records
+     *  carry only the `hit` flag. */
+    bool any_hit = false;
+
+    /** Per-worker RT-unit parameters (CycleAccurate model). */
+    bvh::RtUnitConfig rt;
+
+    /** Per-worker datapath configuration (CycleAccurate model). */
+    core::DatapathConfig dp = core::kBaselineUnified;
+
+    /** Simulation-cycle budget per batch before the run is declared
+     *  hung (CycleAccurate model). */
+    uint64_t max_cycles_per_batch = 100000000ull;
+};
+
+/** Aggregate result of an engine run. */
+struct EngineReport
+{
+    /** Closest-hit records in ray order (parallel to the input). */
+    std::vector<bvh::HitRecord> hits;
+
+    /** Merged RT-unit counters (CycleAccurate model). `cycles` is the
+     *  sum of simulated cycles across batches - the sequential-machine
+     *  cycle count - not wall-clock. */
+    bvh::RtUnitStats unit;
+
+    /** Merged traversal counters (Functional model). */
+    bvh::TraversalStats traversal;
+
+    size_t batches = 0;
+    unsigned threads_used = 0;
+
+    /** Host wall-clock for the sharded run (not part of the determinism
+     *  contract). */
+    double elapsed_seconds = 0;
+
+    /** Host-side simulation throughput. */
+    double
+    raysPerSecond() const
+    {
+        return elapsed_seconds > 0 ? double(hits.size()) / elapsed_seconds
+                                   : 0.0;
+    }
+};
+
+/**
+ * The batch simulation engine. Stateless between runs: every run() call
+ * re-instantiates its per-worker units, so one engine can serve many
+ * scenes and workloads, including concurrently from different threads.
+ */
+class Engine
+{
+  public:
+    explicit Engine(const EngineConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Trace every ray against the BVH and merge the statistics.
+     *  @throws std::runtime_error when a batch exceeds
+     *          max_cycles_per_batch (CycleAccurate model). */
+    EngineReport run(const bvh::Bvh4 &bvh,
+                     const std::vector<core::Ray> &rays) const;
+
+    const EngineConfig &config() const { return cfg_; }
+
+  private:
+    EngineConfig cfg_;
+};
+
+} // namespace rayflex::sim
+
+#endif // RAYFLEX_SIM_ENGINE_HH
