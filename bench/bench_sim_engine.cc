@@ -3,15 +3,19 @@
  * Multi-threaded engine throughput: host-side rays/second of the
  * sharded batch simulation engine (sim::Engine) across worker counts,
  * in both execution models, plus the sharding overhead of the
- * single-thread engine path against the bare single-unit loop. The
- * thread-count sweep is the scaling evidence for the engine: per-ray
- * results are bit-identical at every point (tests/test_sim_engine.cc),
- * so every column of this benchmark computes the same answer.
+ * single-thread engine path against the bare single-unit loop, the
+ * any-hit shadow batches the cycle-accurate RT unit can now time, and
+ * the multi-pass scenario path (sim::renderPasses) on the persistent
+ * worker pool. The thread-count sweep is the scaling evidence for the
+ * engine: per-ray results are bit-identical at every point
+ * (tests/test_sim_engine.cc), so every column of this benchmark
+ * computes the same answer.
  */
 #include <benchmark/benchmark.h>
 
 #include "bvh/scene.hh"
-#include "sim/engine.hh"
+#include "core/raygen.hh"
+#include "sim/passes.hh"
 
 using namespace rayflex;
 using namespace rayflex::bvh;
@@ -122,3 +126,94 @@ BM_SingleUnitBaseline(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SingleUnitBaseline)->Unit(benchmark::kMillisecond);
+
+namespace
+{
+
+/** Shadow-style rays: random scene points aimed at the light, with the
+ *  epsilon lower extent bound every occlusion batch carries. */
+std::vector<Ray>
+shadowRays(size_t n)
+{
+    WorkloadGen gen(29);
+    std::vector<Ray> rays;
+    rays.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        float x = gen.uniform(-9.0f, 9.0f);
+        float y = gen.uniform(-9.0f, 9.0f);
+        float z = gen.uniform(-9.0f, 9.0f);
+        rays.push_back(RayGen::shadowRay({x, y, z}, {0, 1, 0},
+                                         {0.5f, 1.0f, 0.3f}, 1e-3f,
+                                         50.0f));
+    }
+    return rays;
+}
+
+} // namespace
+
+static void
+BM_ShadowAnyHitCycleAccurate(benchmark::State &state)
+{
+    // Occlusion batches through the cycle-level RT unit
+    // (TraversalMode::Any): the quantity that was impossible to time
+    // before any-hit reached the cycle-accurate model.
+    const Bvh4 &bvh = benchScene();
+    auto rays = shadowRays(1024);
+    sim::EngineConfig cfg;
+    cfg.threads = unsigned(state.range(0));
+    cfg.batch_size = 128;
+    cfg.any_hit = true;
+    sim::Engine engine(cfg); // pool outlives the timing loop
+    for (auto _ : state) {
+        auto rep = engine.run(bvh, rays);
+        benchmark::DoNotOptimize(rep.unit.cycles);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rays.size()));
+    state.counters["rays/s"] = benchmark::Counter(
+        double(state.iterations()) * double(rays.size()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShadowAnyHitCycleAccurate)
+    ->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+static void
+BM_RenderPassesFunctional(benchmark::State &state)
+{
+    // The full multi-pass scenario (primary + shadow + AO + bounce) on
+    // one engine: every pass after the first reuses the persistent
+    // worker pool, so this measures the subsystem end to end.
+    const Bvh4 &bvh = benchScene();
+    sim::PassConfig pcfg;
+    pcfg.camera.eye = {6.0f, 8.0f, 14.0f};
+    pcfg.camera.look_at = {0.0f, 1.0f, 0.0f};
+    pcfg.camera.width = 40;
+    pcfg.camera.height = 30;
+    pcfg.ao_samples = 4;
+    pcfg.ao_radius = 3.0f;
+    pcfg.bounce = true;
+
+    sim::EngineConfig ecfg;
+    ecfg.threads = unsigned(state.range(0));
+    ecfg.batch_size = 256;
+    ecfg.model = sim::ExecutionModel::Functional;
+    sim::Engine engine(ecfg);
+
+    uint64_t rays = 0;
+    for (auto _ : state) {
+        auto rep = sim::renderPasses(engine, bvh, pcfg);
+        rays = rep.total_rays;
+        benchmark::DoNotOptimize(rep.traversal.box_ops);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rays));
+    state.counters["rays/s"] = benchmark::Counter(
+        double(state.iterations()) * double(rays),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RenderPassesFunctional)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();

@@ -5,17 +5,18 @@
  * The graphics workload from the paper's introduction: primary rays
  * from a pinhole camera traverse a 4-wide BVH; every intersection
  * decision (ray-box and ray-triangle) is computed by the RayFlex
- * datapath model. Rendering is engine-driven and two-pass: all primary
- * rays are sharded across worker threads by sim::Engine, shading then
- * emits one shadow ray per hit pixel and the shadow batch goes through
- * the engine as a second pass. Simple Lambertian shading writes a PPM
- * image, and the merged datapath-beat statistics are reported - the
- * quantity a hardware architect cares about. The image is bit-identical
- * for every value of [threads].
+ * datapath model. Rendering is engine-driven and multi-pass through
+ * sim::renderPasses: a closest-hit primary pass, an any-hit shadow
+ * pass, and optionally an any-hit ambient-occlusion pass, all sharded
+ * across the engine's persistent worker pool. Simple Lambertian
+ * shading writes a PPM image, and the merged datapath-beat statistics
+ * are reported - the quantity a hardware architect cares about. The
+ * image is bit-identical for every value of [threads].
  *
- * Usage: render_scene [width] [height] [scene] [out.ppm] [threads]
+ * Usage: render_scene [width] [height] [scene] [out.ppm] [threads] [ao]
  *   scene: sphere | torus | terrain | mixed (default mixed)
  *   threads: engine workers, 0 = all cores (default 0)
+ *   ao: ambient-occlusion rays per hit pixel (default 0 = off)
  */
 #include <cstdio>
 #include <cstring>
@@ -24,7 +25,7 @@
 
 #include "bvh/builder.hh"
 #include "bvh/scene.hh"
-#include "sim/engine.hh"
+#include "sim/passes.hh"
 
 using namespace rayflex;
 using namespace rayflex::bvh;
@@ -63,6 +64,7 @@ main(int argc, char **argv)
     std::string scene_name = argc > 3 ? argv[3] : "mixed";
     std::string out_path = argc > 4 ? argv[4] : "render.ppm";
     unsigned threads = argc > 5 ? unsigned(atoi(argv[5])) : 0;
+    unsigned ao_samples = argc > 6 ? unsigned(atoi(argv[6])) : 0;
 
     auto tris = buildScene(scene_name);
     Bvh4 bvh = buildBvh4(tris);
@@ -70,15 +72,19 @@ main(int argc, char **argv)
            scene_name.c_str(), bvh.tris.size(), bvh.nodes.size(),
            bvh.depth());
 
-    Camera cam;
     Vec3 c = bvh.root_bounds.centre();
     Vec3 ext = bvh.root_bounds.hi - bvh.root_bounds.lo;
-    cam.look_at = c;
-    cam.eye = c + Vec3{0.8f * ext.x, 0.7f * ext.y, 1.1f * ext.z};
-    cam.width = width;
-    cam.height = height;
+    Vec3 eye = c + Vec3{0.8f * ext.x, 0.7f * ext.y, 1.1f * ext.z};
 
-    const Vec3 light_dir = normalize({0.5f, 1.0f, 0.3f});
+    sim::PassConfig pcfg;
+    pcfg.camera.eye = {eye.x, eye.y, eye.z};
+    pcfg.camera.look_at = {c.x, c.y, c.z};
+    pcfg.camera.width = width;
+    pcfg.camera.height = height;
+    pcfg.t_max = 1000.0f;
+    pcfg.light_dir = {0.5f, 1.0f, 0.3f};
+    pcfg.ao_samples = ao_samples;
+    pcfg.ao_radius = 0.25f * length(ext);
 
     sim::EngineConfig ecfg;
     ecfg.threads = threads;
@@ -86,54 +92,9 @@ main(int argc, char **argv)
     ecfg.model = sim::ExecutionModel::Functional;
     sim::Engine engine(ecfg);
 
-    // ---- pass 1: every primary ray through the sharded engine ----
-    std::vector<Ray> primary;
-    primary.reserve(size_t(width) * height);
-    for (unsigned y = 0; y < height; ++y)
-        for (unsigned x = 0; x < width; ++x)
-            primary.push_back(cam.primaryRay(x, y, 1000.0f));
-    sim::EngineReport prim = engine.run(bvh, primary);
-
-    // Triangle lookup by id (ids survive the builder's reordering).
-    std::vector<const SceneTriangle *> by_id(bvh.tris.size());
-    for (const auto &t : bvh.tris)
-        by_id[t.id] = &t;
-
-    // ---- shading prologue: diffuse terms, shadow batch ----
-    std::vector<float> diffuse(primary.size(), 0.0f);
-    std::vector<Ray> shadow_rays;
-    std::vector<size_t> shadow_pixel; // shadow ray -> pixel index
-    for (size_t i = 0; i < primary.size(); ++i) {
-        const HitRecord &hit = prim.hits[i];
-        if (!hit.hit)
-            continue;
-        const Ray &ray = primary[i];
-        const SceneTriangle *hit_tri = by_id[hit.triangle_id];
-        Vec3 n = normalize(cross(hit_tri->v1 - hit_tri->v0,
-                                 hit_tri->v2 - hit_tri->v0));
-        Vec3 org{fp::fromBits(ray.origin[0]), fp::fromBits(ray.origin[1]),
-                 fp::fromBits(ray.origin[2])};
-        Vec3 dir{fp::fromBits(ray.dir[0]), fp::fromBits(ray.dir[1]),
-                 fp::fromBits(ray.dir[2])};
-        if (dot(n, dir) > 0)
-            n = n * -1.0f;
-        Vec3 p = org + dir * hit.t;
-        diffuse[i] = std::max(0.0f, dot(n, light_dir));
-
-        Vec3 sp = p + n * 1e-3f;
-        shadow_rays.push_back(makeRay(sp.x, sp.y, sp.z, light_dir.x,
-                                      light_dir.y, light_dir.z, 1e-3f,
-                                      1000.0f));
-        shadow_pixel.push_back(i);
-    }
-
-    // ---- pass 2: the shadow batch, any-hit (first occluder wins) ----
-    sim::EngineConfig scfg = ecfg;
-    scfg.any_hit = true;
-    sim::EngineReport shad = sim::Engine(scfg).run(bvh, shadow_rays);
-    std::vector<uint8_t> lit(primary.size(), 0);
-    for (size_t s = 0; s < shadow_rays.size(); ++s)
-        lit[shadow_pixel[s]] = shad.hits[s].hit ? 0 : 1;
+    // All passes (primary closest-hit, shadow any-hit, optional AO
+    // fans) through the engine's persistent worker pool.
+    sim::PassesReport passes = sim::renderPasses(engine, bvh, pcfg);
 
     // ---- resolve to the image ----
     std::vector<unsigned char> img(size_t(width) * height * 3);
@@ -141,7 +102,7 @@ main(int argc, char **argv)
     for (unsigned y = 0; y < height; ++y) {
         for (unsigned x = 0; x < width; ++x) {
             size_t i = size_t(y) * width + x;
-            const HitRecord &hit = prim.hits[i];
+            const HitRecord &hit = passes.primary.hits[i];
             float r, g, b;
             if (!hit.hit) {
                 // Sky gradient.
@@ -152,7 +113,8 @@ main(int argc, char **argv)
             } else {
                 ++shaded;
                 float shade =
-                    0.15f + (lit[i] ? 0.85f * diffuse[i] : 0.0f);
+                    0.15f * passes.ao_open[i] +
+                    (passes.lit[i] ? 0.85f * passes.diffuse[i] : 0.0f);
                 // Stable per-triangle albedo from the id.
                 uint32_t h = hit.triangle_id * 2654435761u;
                 r = shade * (0.4f + 0.6f * float((h >> 0) & 0xFF) / 255);
@@ -175,15 +137,15 @@ main(int argc, char **argv)
             std::streamsize(img.size()));
     f.close();
 
-    TraversalStats st = prim.traversal;
-    st.merge(shad.traversal);
-    uint64_t rays = primary.size() + shadow_rays.size();
-    double wall = prim.elapsed_seconds + shad.elapsed_seconds;
+    const TraversalStats &st = passes.traversal;
+    uint64_t rays = passes.total_rays;
+    double wall = passes.elapsed_seconds;
     printf("wrote %s (%ux%u), %zu/%u pixels shaded\n", out_path.c_str(),
            width, height, shaded, width * height);
-    printf("engine: %u worker(s), %zu + %zu batches, %llu rays in "
+    printf("engine: %u worker(s), %zu + %zu + %zu batches, %llu rays in "
            "%.3f s (%.0f rays/s host-side)\n",
-           prim.threads_used, prim.batches, shad.batches,
+           passes.primary.threads_used, passes.primary.batches,
+           passes.shadow.batches, passes.ao.batches,
            (unsigned long long)rays, wall,
            wall > 0 ? double(rays) / wall : 0.0);
     printf("datapath work: %llu ray-box beats, %llu ray-triangle beats "

@@ -57,7 +57,13 @@ RtUnit::popWork(Entry &e)
         return;
     }
     // Traversal complete.
-    results_[e.ray_id] = e.best;
+    finishRay(e, e.best);
+}
+
+void
+RtUnit::finishRay(Entry &e, const HitRecord &rec)
+{
+    results_[e.ray_id] = rec;
     e.state = EntryState::Idle;
     e.stack.clear();
     --outstanding_;
@@ -144,7 +150,17 @@ RtUnit::handleResult(const core::DatapathOutput &out)
             float den = fromBits(out.tri.t_den);
             if (den != 0.0f) {
                 float t = fromBits(out.tri.t_num) / den;
-                if (t <= e.t_max && (!e.best.hit || t < e.best.t)) {
+                if (t >= e.t_beg && t <= e.t_max &&
+                    (!e.best.hit || t < e.best.t)) {
+                    if (cfg_.mode == TraversalMode::Any) {
+                        // First in-extent hit retires the ray; the
+                        // record carries only the flag (see
+                        // TraversalMode::Any).
+                        HitRecord occluded;
+                        occluded.hit = true;
+                        finishRay(e, occluded);
+                        return;
+                    }
                     e.best.hit = true;
                     e.best.t = t;
                     e.best.triangle_id = tri.id;
@@ -231,6 +247,7 @@ RtUnit::advance(uint64_t cycle)
         e = Entry{};
         e.ray = ray;
         e.ray_id = id;
+        e.t_beg = fromBits(ray.t_beg);
         e.t_max = fromBits(ray.t_end);
         if (bvh_.tris.empty()) {
             results_[e.ray_id] = HitRecord{};

@@ -25,12 +25,23 @@
 namespace rayflex::bvh
 {
 
+/** What the unit resolves per ray. */
+enum class TraversalMode : uint8_t {
+    /** Resolve the closest hit inside the ray extent. */
+    Closest,
+    /** Retire the ray on the first hit inside the ray extent
+     *  (shadow/occlusion queries). The result record carries only the
+     *  `hit` flag; t, triangle id and barycentrics stay zero. */
+    Any,
+};
+
 /** RT-unit configuration. */
 struct RtUnitConfig
 {
     unsigned ray_buffer_entries = 32; ///< rays concurrently in flight
     unsigned mem_latency = 20;        ///< node fetch latency, cycles
     unsigned mem_requests_per_cycle = 1;
+    TraversalMode mode = TraversalMode::Closest;
 };
 
 /** Per-run statistics. */
@@ -87,7 +98,8 @@ class RtUnit : public pipeline::Component
      *  @return statistics for the run. */
     RtUnitStats run(uint64_t max_cycles = 100000000ull);
 
-    /** Closest-hit results in ray-id order (parallel to submissions). */
+    /** Results in ray-id order (parallel to submissions). In
+     *  TraversalMode::Any only the `hit` flag is meaningful. */
     const std::vector<HitRecord> &results() const { return results_; }
 
     void publish(uint64_t cycle) override;
@@ -122,6 +134,7 @@ class RtUnit : public pipeline::Component
         uint32_t leaf_first = 0, leaf_count = 0, leaf_next = 0;
         uint32_t inflight_tri = 0;   ///< triangle of the in-flight beat
         HitRecord best;
+        float t_beg = 0;
         float t_max = 0;
     };
 
@@ -132,6 +145,7 @@ class RtUnit : public pipeline::Component
     };
 
     void popWork(Entry &e);
+    void finishRay(Entry &e, const HitRecord &rec);
     void handleResult(const core::DatapathOutput &out);
 
     const Bvh4 &bvh_;

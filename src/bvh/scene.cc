@@ -7,6 +7,8 @@
 #include <cmath>
 #include <random>
 
+#include "core/raygen.hh"
+
 namespace rayflex::bvh
 {
 
@@ -129,18 +131,14 @@ makeSoup(size_t count, float extent, float max_edge, uint64_t seed,
 core::Ray
 Camera::primaryRay(unsigned px, unsigned py, float t_max) const
 {
-    Vec3 fwd = normalize(look_at - eye);
-    Vec3 right = normalize(cross(fwd, up));
-    Vec3 v_up = cross(right, fwd);
-    float aspect = float(width) / float(height);
-    float half_h = std::tan(fov_deg * kPi / 360.0f);
-    float half_w = half_h * aspect;
-
-    float sx = (2.0f * (float(px) + 0.5f) / float(width) - 1.0f) * half_w;
-    float sy = (1.0f - 2.0f * (float(py) + 0.5f) / float(height)) * half_h;
-    Vec3 dir = normalize(fwd + right * sx + v_up * sy);
-    return core::makeRay(eye.x, eye.y, eye.z, dir.x, dir.y, dir.z, 0.0f,
-                         t_max);
+    core::Pinhole cam;
+    cam.eye = {eye.x, eye.y, eye.z};
+    cam.look_at = {look_at.x, look_at.y, look_at.z};
+    cam.up = {up.x, up.y, up.z};
+    cam.fov_deg = fov_deg;
+    cam.width = width;
+    cam.height = height;
+    return core::RayGen::primaryRay(cam, px, py, t_max);
 }
 
 std::vector<DataPoint>

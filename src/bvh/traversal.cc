@@ -63,7 +63,8 @@ HitRecord
 Traverser::closestHit(const core::Ray &ray)
 {
     HitRecord best;
-    float t_max = fromBits(ray.t_end);
+    const float t_min = fromBits(ray.t_beg);
+    const float t_max = fromBits(ray.t_end);
     if (bvh_.tris.empty())
         return best;
 
@@ -107,7 +108,8 @@ Traverser::closestHit(const core::Ray &ray)
                     DatapathOutput tout = functionalEval(tin, acc_);
                     ++stats_.tri_ops;
                     auto d = triDistance(tout);
-                    if (d && *d <= t_max && (!best.hit || *d < best.t)) {
+                    if (d && *d >= t_min && *d <= t_max &&
+                        (!best.hit || *d < best.t)) {
                         best.hit = true;
                         best.t = *d;
                         best.triangle_id = bvh_.tris[t].id;
@@ -131,10 +133,13 @@ Traverser::anyHit(const core::Ray &ray)
 {
     if (bvh_.tris.empty())
         return false;
-    float t_max = fromBits(ray.t_end);
+    const float t_min = fromBits(ray.t_beg);
+    const float t_max = fromBits(ray.t_end);
     std::vector<uint32_t> stack;
     stack.push_back(0);
     while (!stack.empty()) {
+        stats_.max_stack = std::max<uint64_t>(stats_.max_stack,
+                                              stack.size());
         uint32_t idx = stack.back();
         stack.pop_back();
         const WideNode &node = bvh_.nodes[idx];
@@ -157,7 +162,7 @@ Traverser::anyHit(const core::Ray &ray)
                     DatapathOutput tout = functionalEval(tin, acc_);
                     ++stats_.tri_ops;
                     auto d = triDistance(tout);
-                    if (d && *d <= t_max)
+                    if (d && *d >= t_min && *d <= t_max)
                         return true;
                 }
             }
@@ -170,7 +175,8 @@ HitRecord
 Traverser::bruteForceClosest(const core::Ray &ray) const
 {
     HitRecord best;
-    float t_max = fromBits(ray.t_end);
+    const float t_min = fromBits(ray.t_beg);
+    const float t_max = fromBits(ray.t_end);
     core::DistanceAccumulators acc;
     for (const SceneTriangle &tri : bvh_.tris) {
         DatapathInput in;
@@ -179,7 +185,7 @@ Traverser::bruteForceClosest(const core::Ray &ray) const
         in.tri = tri.toIoTriangle();
         DatapathOutput out = functionalEval(in, acc);
         auto d = triDistance(out);
-        if (d && *d <= t_max && (!best.hit || *d < best.t)) {
+        if (d && *d >= t_min && *d <= t_max && (!best.hit || *d < best.t)) {
             best.hit = true;
             best.t = *d;
             best.triangle_id = tri.id;

@@ -64,10 +64,13 @@ class Traverser
   public:
     explicit Traverser(const Bvh4 &bvh) : bvh_(bvh) {}
 
-    /** Find the closest hit along the ray, or miss. */
+    /** Find the closest hit with t inside the ray extent
+     *  [t_beg, t_end], or miss. Triangles in front of t_beg are
+     *  rejected exactly like triangles beyond t_end (the contract
+     *  shadow and secondary rays rely on). */
     HitRecord closestHit(const core::Ray &ray);
 
-    /** True as soon as any hit with t in the ray extent exists
+    /** True as soon as any hit with t in [t_beg, t_end] exists
      *  (shadow-ray style early out). */
     bool anyHit(const core::Ray &ray);
 

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Deterministic scenario ray generation.
+ *
+ * Every function here is straight-line FP32 arithmetic with a fixed
+ * operation order; combined with the build-wide -ffp-contract=off this
+ * makes each generated ray a bit-reproducible function of the inputs
+ * (and, for the AO fan, of the seed).
+ */
+#include "core/raygen.hh"
+
+#include <cmath>
+
+namespace rayflex::core
+{
+
+namespace
+{
+
+constexpr float kPi = 3.14159265358979323846f;
+
+Float3
+sub(const Float3 &a, const Float3 &b)
+{
+    return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+
+Float3
+add(const Float3 &a, const Float3 &b)
+{
+    return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+}
+
+Float3
+scale(const Float3 &a, float s)
+{
+    return {a[0] * s, a[1] * s, a[2] * s};
+}
+
+float
+dot(const Float3 &a, const Float3 &b)
+{
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+Float3
+cross(const Float3 &a, const Float3 &b)
+{
+    return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+            a[0] * b[1] - a[1] * b[0]};
+}
+
+Float3
+normalized(const Float3 &a)
+{
+    return scale(a, 1.0f / std::sqrt(dot(a, a)));
+}
+
+/** SplitMix64: the standard 64-bit finalizer used to whiten a seed. */
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** A deterministic tangent frame (t1, t2) completing `n` (unit). The
+ *  reference axis is the coordinate where |n| is smallest, which keeps
+ *  the cross product well conditioned for every normal. */
+void
+tangentFrame(const Float3 &n, Float3 &t1, Float3 &t2)
+{
+    Float3 ref{1, 0, 0};
+    float ax = std::fabs(n[0]), ay = std::fabs(n[1]),
+          az = std::fabs(n[2]);
+    if (ay <= ax && ay <= az)
+        ref = {0, 1, 0};
+    else if (az <= ax && az <= ay)
+        ref = {0, 0, 1};
+    t1 = normalized(cross(n, ref));
+    t2 = cross(n, t1); // already unit: n and t1 are orthonormal
+}
+
+} // namespace
+
+RayGen::RayGen(uint64_t seed)
+{
+    // Fold the whitened seed into a 24-bit value (exact in FP32) and
+    // spread it over one turn.
+    uint64_t bits = splitmix64(seed) >> 40;
+    phase_ = float(bits) * (2.0f * kPi / 16777216.0f);
+}
+
+namespace
+{
+
+/** The pixel-independent part of the pinhole model. */
+struct CameraBasis
+{
+    Float3 fwd, right, v_up;
+    float half_w, half_h;
+};
+
+/** Identical operation order to the historical bvh::Camera math (the
+ *  BVH-layer camera now delegates here). */
+CameraBasis
+cameraBasis(const Pinhole &cam)
+{
+    CameraBasis b;
+    b.fwd = normalized(sub(cam.look_at, cam.eye));
+    b.right = normalized(cross(b.fwd, cam.up));
+    b.v_up = cross(b.right, b.fwd);
+    float aspect = float(cam.width) / float(cam.height);
+    b.half_h = std::tan(cam.fov_deg * kPi / 360.0f);
+    b.half_w = b.half_h * aspect;
+    return b;
+}
+
+Ray
+pixelRay(const Pinhole &cam, const CameraBasis &b, unsigned px,
+         unsigned py, float t_max)
+{
+    float sx = (2.0f * (float(px) + 0.5f) / float(cam.width) - 1.0f) *
+               b.half_w;
+    float sy = (1.0f - 2.0f * (float(py) + 0.5f) / float(cam.height)) *
+               b.half_h;
+    Float3 dir = normalized(
+        add(add(b.fwd, scale(b.right, sx)), scale(b.v_up, sy)));
+    return makeRay(cam.eye[0], cam.eye[1], cam.eye[2], dir[0], dir[1],
+                   dir[2], 0.0f, t_max);
+}
+
+} // namespace
+
+Ray
+RayGen::primaryRay(const Pinhole &cam, unsigned px, unsigned py,
+                   float t_max)
+{
+    return pixelRay(cam, cameraBasis(cam), px, py, t_max);
+}
+
+std::vector<Ray>
+RayGen::primaryRays(const Pinhole &cam, float t_max)
+{
+    // One basis derivation for the whole frame; the per-ray arithmetic
+    // is unchanged, so bulk and per-pixel rays are bit-identical.
+    const CameraBasis basis = cameraBasis(cam);
+    std::vector<Ray> rays;
+    rays.reserve(size_t(cam.width) * cam.height);
+    for (unsigned y = 0; y < cam.height; ++y)
+        for (unsigned x = 0; x < cam.width; ++x)
+            rays.push_back(pixelRay(cam, basis, x, y, t_max));
+    return rays;
+}
+
+Ray
+RayGen::shadowRay(const Float3 &point, const Float3 &normal,
+                  const Float3 &light_dir, float eps, float t_max)
+{
+    Float3 org = add(point, scale(normal, eps));
+    Float3 dir = normalized(light_dir);
+    return makeRay(org[0], org[1], org[2], dir[0], dir[1], dir[2], eps,
+                   t_max);
+}
+
+std::vector<Ray>
+RayGen::aoFan(const Float3 &point, const Float3 &normal, unsigned count,
+              float eps, float radius) const
+{
+    std::vector<Ray> fan;
+    fan.reserve(count);
+    appendAoFan(fan, point, normal, count, eps, radius);
+    return fan;
+}
+
+void
+RayGen::appendAoFan(std::vector<Ray> &out, const Float3 &point,
+                    const Float3 &normal, unsigned count, float eps,
+                    float radius) const
+{
+    // Equal-area spiral over the hemisphere: elevations z_i uniform in
+    // (0, 1], azimuths advancing by the golden angle from the seed
+    // phase. Deliberately not cosine-weighted - the fan measures plain
+    // geometric openness, and equal weights keep the visible fraction a
+    // simple ratio.
+    constexpr float kGoldenAngle = 2.39996323f; // pi * (3 - sqrt 5)
+    Float3 t1, t2;
+    tangentFrame(normal, t1, t2);
+    Float3 org = add(point, scale(normal, eps));
+
+    // No reserve here: repeated appends into one growing batch rely on
+    // the vector's geometric growth.
+    for (unsigned i = 0; i < count; ++i) {
+        float z = 1.0f - (float(i) + 0.5f) / float(count);
+        float r = std::sqrt(1.0f - z * z);
+        float phi = phase_ + kGoldenAngle * float(i);
+        float cx = r * std::cos(phi);
+        float cy = r * std::sin(phi);
+        Float3 dir = add(add(scale(t1, cx), scale(t2, cy)),
+                         scale(normal, z));
+        out.push_back(makeRay(org[0], org[1], org[2], dir[0], dir[1],
+                              dir[2], eps, radius));
+    }
+}
+
+Ray
+RayGen::bounceRay(const Float3 &point, const Float3 &normal,
+                  const Float3 &incoming, float eps, float t_max)
+{
+    float d = dot(incoming, normal);
+    Float3 dir = sub(incoming, scale(normal, 2.0f * d));
+    Float3 org = add(point, scale(normal, eps));
+    return makeRay(org[0], org[1], org[2], dir[0], dir[1], dir[2], eps,
+                   t_max);
+}
+
+} // namespace rayflex::core

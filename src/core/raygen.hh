@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic ray generation for multi-pass secondary-ray scenarios.
+ *
+ * The paper's datapath consumes rays whose division-dependent fields
+ * (inverse direction, shear constants) are precomputed at ray-creation
+ * time on the GPU core (makeRay). This module is that GPU-core side for
+ * whole scenario passes: pinhole-camera primary rays, shadow rays
+ * toward a light, cosine-free ambient-occlusion fans and one-bounce
+ * mirror rays. Every generator is a pure function of its inputs (the
+ * AO fan additionally of the construction seed), computed in plain
+ * IEEE FP32 with a fixed operation order, so generated batches are
+ * bit-reproducible across runs, machines and engine thread counts -
+ * the property the sim::Engine determinism contract extends through
+ * multi-pass rendering.
+ *
+ * All secondary rays carry a non-zero lower extent bound t_beg (plus an
+ * epsilon offset of the origin along the surface normal), which is why
+ * every traversal path honors t_beg: a triangle in front of t_beg must
+ * be rejected exactly like one beyond t_end.
+ */
+#ifndef RAYFLEX_CORE_RAYGEN_HH
+#define RAYFLEX_CORE_RAYGEN_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/io_spec.hh"
+
+namespace rayflex::core
+{
+
+/** A host-float point or vector for ray generation (the core layer
+ *  keeps geometry in plain floats until makeRay packs it into bits). */
+using Float3 = std::array<float, 3>;
+
+/** A pinhole camera. The BVH layer's bvh::Camera delegates here, so
+ *  there is exactly one implementation of the primary-ray math. */
+struct Pinhole
+{
+    Float3 eye{0, 0, 5};
+    Float3 look_at{0, 0, 0};
+    Float3 up{0, 1, 0};
+    float fov_deg = 60.0f;
+    unsigned width = 64;
+    unsigned height = 64;
+};
+
+/** Deterministic scenario ray generator. Static members are pure
+ *  functions; the AO fan also folds in the seed (as a fixed azimuth
+ *  phase), so distinct seeds give distinct - but each bit-reproducible
+ *  - fans. */
+class RayGen
+{
+  public:
+    explicit RayGen(uint64_t seed = 1);
+
+    /** Azimuth phase in [0, 2*pi) derived from the seed. */
+    float fanPhase() const { return phase_; }
+
+    /** Primary ray through the centre of pixel (px, py); the ray
+     *  extent is [0, t_max]. */
+    static Ray primaryRay(const Pinhole &cam, unsigned px, unsigned py,
+                          float t_max);
+
+    /** All width*height primary rays in row-major pixel order. */
+    static std::vector<Ray> primaryRays(const Pinhole &cam, float t_max);
+
+    /** Shadow ray from a surface point toward a directional light:
+     *  origin offset by eps along the normal, extent [eps, t_max].
+     *  `light_dir` is normalized internally, so the extent is in world
+     *  units and occluders closer than eps (self-intersection) are
+     *  outside it by construction. `normal` must be unit length. */
+    static Ray shadowRay(const Float3 &point, const Float3 &normal,
+                         const Float3 &light_dir, float eps, float t_max);
+
+    /** Deterministic ambient-occlusion fan: `count` rays covering the
+     *  hemisphere around `normal` (unit length) on an equal-area
+     *  spiral (no cosine weighting, no rejection sampling), azimuth
+     *  rotated by the seed phase. Origins are offset by eps along the
+     *  normal; extents are [eps, radius], so occlusion is evaluated
+     *  inside a bounded neighborhood. */
+    std::vector<Ray> aoFan(const Float3 &point, const Float3 &normal,
+                           unsigned count, float eps, float radius) const;
+
+    /** As aoFan(), appending to `out` (the bulk form scenario passes
+     *  use: one growing batch, no per-fan allocation). */
+    void appendAoFan(std::vector<Ray> &out, const Float3 &point,
+                     const Float3 &normal, unsigned count, float eps,
+                     float radius) const;
+
+    /** One-bounce mirror ray: `incoming` reflected about `normal`
+     *  (unit length), origin offset by eps along the normal, extent
+     *  [eps, t_max] in units of |incoming| (reflection preserves the
+     *  incoming length). */
+    static Ray bounceRay(const Float3 &point, const Float3 &normal,
+                         const Float3 &incoming, float eps, float t_max);
+
+  private:
+    float phase_ = 0;
+};
+
+} // namespace rayflex::core
+
+#endif // RAYFLEX_CORE_RAYGEN_HH

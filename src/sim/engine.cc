@@ -8,12 +8,21 @@
  * slice of the shared output vector without synchronization; statistics
  * are accumulated per worker and merged after the join, which is safe
  * because the merge operation is commutative and associative.
+ *
+ * Workers live in a persistent pool (Engine::Pool): threads are spawned
+ * once, then parked on a condition variable between runs. A run hands
+ * the pool a job and a worker count; each drafted worker executes
+ * job(worker_id) and reports back, and the dispatching thread blocks
+ * until all drafted workers have returned. Single-worker runs bypass
+ * the pool entirely and execute inline on the calling thread.
  */
 #include "sim/engine.hh"
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <functional>
 #include <stdexcept>
 #include <thread>
 
@@ -35,14 +44,101 @@ struct WorkerTally
 
 } // namespace
 
+/** Persistent worker threads parked between dispatches. */
+class Engine::Pool
+{
+  public:
+    explicit Pool(unsigned workers)
+    {
+        threads_.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            threads_.emplace_back([this, i] { loop(i); });
+    }
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            stop_ = true;
+        }
+        cv_work_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+    /** Run job(0) .. job(n-1) on n pool workers; blocks until every
+     *  drafted worker has returned. The job must not throw (workers
+     *  capture exceptions themselves). */
+    void
+    dispatch(unsigned n, const std::function<void(unsigned)> &job)
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        job_ = &job;
+        active_ = n;
+        remaining_ = n;
+        ++generation_;
+        cv_work_.notify_all();
+        cv_done_.wait(lk, [this] { return remaining_ == 0; });
+        job_ = nullptr;
+    }
+
+  private:
+    void
+    loop(unsigned id)
+    {
+        uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(m_);
+        for (;;) {
+            cv_work_.wait(lk, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            if (id >= active_)
+                continue; // not drafted for this dispatch
+            const std::function<void(unsigned)> *job = job_;
+            lk.unlock();
+            (*job)(id);
+            lk.lock();
+            if (--remaining_ == 0)
+                cv_done_.notify_one();
+        }
+    }
+
+    std::vector<std::thread> threads_;
+    std::mutex m_;
+    std::condition_variable cv_work_, cv_done_;
+    const std::function<void(unsigned)> *job_ = nullptr;
+    unsigned active_ = 0;    ///< workers drafted this generation
+    unsigned remaining_ = 0; ///< drafted workers still running
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+Engine::Engine(const EngineConfig &cfg) : cfg_(cfg)
+{
+    resolved_threads_ = cfg.threads;
+    if (resolved_threads_ == 0) {
+        resolved_threads_ = std::thread::hardware_concurrency();
+        if (resolved_threads_ == 0)
+            resolved_threads_ = 1;
+    }
+}
+
+Engine::~Engine() = default;
+
 EngineReport
 Engine::run(const bvh::Bvh4 &bvh,
             const std::vector<core::Ray> &rays) const
 {
-    if (cfg_.any_hit && cfg_.model != ExecutionModel::Functional)
-        throw std::invalid_argument(
-            "sim::Engine: any_hit requires the Functional model");
+    return run(bvh, rays, cfg_.any_hit);
+}
 
+EngineReport
+Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
+            bool any_hit) const
+{
     EngineReport report;
     report.hits.resize(rays.size());
 
@@ -54,15 +150,14 @@ Engine::run(const bvh::Bvh4 &bvh,
         return report;
     }
 
-    unsigned threads = cfg_.threads;
-    if (threads == 0) {
-        threads = std::thread::hardware_concurrency();
-        if (threads == 0)
-            threads = 1;
-    }
+    unsigned threads = resolved_threads_;
     if (size_t(threads) > batches.size())
         threads = unsigned(batches.size());
     report.threads_used = threads;
+
+    bvh::RtUnitConfig rt_cfg = cfg_.rt;
+    rt_cfg.mode = any_hit ? bvh::TraversalMode::Any
+                          : bvh::TraversalMode::Closest;
 
     std::atomic<size_t> next_batch{0};
     std::vector<WorkerTally> tallies(threads);
@@ -78,7 +173,7 @@ Engine::run(const bvh::Bvh4 &bvh,
                 const core::BatchRange r = batches[bi];
                 if (cfg_.model == ExecutionModel::CycleAccurate) {
                     core::RayFlexDatapath dp(cfg_.dp);
-                    bvh::RtUnit unit(bvh, dp, cfg_.rt);
+                    bvh::RtUnit unit(bvh, dp, rt_cfg);
                     for (size_t i = r.begin; i < r.end; ++i)
                         unit.submit(rays[i], uint32_t(i - r.begin));
                     tallies[wid].unit.merge(
@@ -87,7 +182,7 @@ Engine::run(const bvh::Bvh4 &bvh,
                         report.hits[i] = unit.results()[i - r.begin];
                 } else {
                     bvh::Traverser trav(bvh);
-                    if (cfg_.any_hit) {
+                    if (any_hit) {
                         for (size_t i = r.begin; i < r.end; ++i)
                             report.hits[i] =
                                 bvh::HitRecord{trav.anyHit(rays[i])};
@@ -107,12 +202,13 @@ Engine::run(const bvh::Bvh4 &bvh,
     if (threads == 1) {
         worker(0);
     } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned w = 0; w < threads; ++w)
-            pool.emplace_back(worker, w);
-        for (std::thread &t : pool)
-            t.join();
+        // Concurrent run() calls from different threads serialize here;
+        // results are unaffected (work distribution is the atomic batch
+        // counter above), only wall-clock overlaps are lost.
+        std::lock_guard<std::mutex> lk(pool_mutex_);
+        if (!pool_)
+            pool_ = std::make_unique<Pool>(resolved_threads_);
+        pool_->dispatch(threads, worker);
     }
     const auto t1 = std::chrono::steady_clock::now();
     report.elapsed_seconds =

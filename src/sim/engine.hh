@@ -22,11 +22,20 @@
  *   3. batch statistics are merged with commutative-associative sums
  *      (RtUnitStats::merge / TraversalStats::merge), so the claim order
  *      of batches by workers cannot change the aggregate.
+ *
+ * Worker threads are persistent: the first multi-threaded run() lazily
+ * spawns a pool sized to the configured thread count, and every later
+ * run() of the same engine reuses it, so multi-pass scenarios (primary,
+ * shadow, ambient-occlusion, bounce batches - see sim/passes.hh) stop
+ * paying thread creation per pass. The pool never affects results: work
+ * distribution stays the atomic batch counter of point 1 above.
  */
 #ifndef RAYFLEX_SIM_ENGINE_HH
 #define RAYFLEX_SIM_ENGINE_HH
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "bvh/rt_unit.hh"
@@ -60,14 +69,17 @@ struct EngineConfig
 
     ExecutionModel model = ExecutionModel::CycleAccurate;
 
-    /** Any-hit (shadow-ray) queries: stop at the first intersection
-     *  inside the ray extent instead of resolving the closest one, so
-     *  occluded rays cost fewer beats. Functional model only (the
-     *  cycle-level RT unit models closest-hit traversal); hit records
-     *  carry only the `hit` flag. */
+    /** Any-hit (shadow/occlusion) queries: stop at the first
+     *  intersection inside the ray extent [t_beg, t_end] instead of
+     *  resolving the closest one. Supported by both execution models:
+     *  the Functional model uses Traverser::anyHit, the CycleAccurate
+     *  model runs its RT units in bvh::TraversalMode::Any so occlusion
+     *  batches can be timed. See EngineReport::hits for the reduced
+     *  hit-record contract. */
     bool any_hit = false;
 
-    /** Per-worker RT-unit parameters (CycleAccurate model). */
+    /** Per-worker RT-unit parameters (CycleAccurate model). The
+     *  traversal mode is overridden from `any_hit`. */
     bvh::RtUnitConfig rt;
 
     /** Per-worker datapath configuration (CycleAccurate model). */
@@ -81,7 +93,14 @@ struct EngineConfig
 /** Aggregate result of an engine run. */
 struct EngineReport
 {
-    /** Closest-hit records in ray order (parallel to the input). */
+    /** Hit records in ray order (parallel to the input).
+     *
+     *  Closest-hit runs fill every field. Any-hit runs
+     *  (EngineConfig::any_hit) fill ONLY the `hit` flag: t,
+     *  triangle_id and u/v/w stay value-initialized at zero, in both
+     *  execution models. The records therefore stay operator==- and
+     *  bit-comparable across models, but consumers of an any-hit run
+     *  must read nothing beyond the flag. */
     std::vector<bvh::HitRecord> hits;
 
     /** Merged RT-unit counters (CycleAccurate model). `cycles` is the
@@ -109,14 +128,22 @@ struct EngineReport
 };
 
 /**
- * The batch simulation engine. Stateless between runs: every run() call
- * re-instantiates its per-worker units, so one engine can serve many
- * scenes and workloads, including concurrently from different threads.
+ * The batch simulation engine. Results are stateless between runs:
+ * every run() call re-instantiates its per-worker simulation units, so
+ * one engine can serve many scenes and workloads back to back. The only
+ * state carried across runs is the persistent worker pool, which is why
+ * the engine is no longer copyable; run() stays safe to call from
+ * different threads, with concurrent runs serializing on the shared
+ * pool.
  */
 class Engine
 {
   public:
-    explicit Engine(const EngineConfig &cfg = {}) : cfg_(cfg) {}
+    explicit Engine(const EngineConfig &cfg = {});
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
 
     /** Trace every ray against the BVH and merge the statistics.
      *  @throws std::runtime_error when a batch exceeds
@@ -124,10 +151,26 @@ class Engine
     EngineReport run(const bvh::Bvh4 &bvh,
                      const std::vector<core::Ray> &rays) const;
 
+    /** As run(), but overriding EngineConfig::any_hit for this run
+     *  only, so one engine - and its persistent worker pool - serves
+     *  both the closest-hit and the occlusion passes of a multi-pass
+     *  scenario (see sim/passes.hh). */
+    EngineReport run(const bvh::Bvh4 &bvh,
+                     const std::vector<core::Ray> &rays,
+                     bool any_hit) const;
+
     const EngineConfig &config() const { return cfg_; }
 
   private:
+    class Pool;
+
     EngineConfig cfg_;
+    unsigned resolved_threads_ = 1; ///< cfg.threads with 0 resolved
+
+    /** Lazily created on the first run() that needs more than one
+     *  worker, then reused by every later run(). */
+    mutable std::unique_ptr<Pool> pool_;
+    mutable std::mutex pool_mutex_; ///< guards creation and dispatch
 };
 
 } // namespace rayflex::sim

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests of the secondary-ray scenario subsystem: core::RayGen
+ * determinism and geometry, and sim::renderPasses - the multi-pass
+ * (primary / shadow / ambient-occlusion / bounce) orchestration -
+ * holding the engine's bit-identical-at-every-thread-count contract
+ * for every scenario.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "bvh/builder.hh"
+#include "bvh/scene.hh"
+#include "core/raygen.hh"
+#include "sim/passes.hh"
+
+using namespace rayflex;
+using namespace rayflex::core;
+using namespace rayflex::bvh;
+using rayflex::fp::fromBits;
+using rayflex::fp::toBits;
+
+namespace
+{
+
+/** Field-by-field bit equality of two rays. */
+::testing::AssertionResult
+rayBitsEqual(const Ray &a, const Ray &b)
+{
+    if (a.origin != b.origin || a.dir != b.dir ||
+        a.inv_dir != b.inv_dir || a.t_beg != b.t_beg ||
+        a.t_end != b.t_end || a.kx != b.kx || a.ky != b.ky ||
+        a.kz != b.kz || a.shear != b.shear)
+        return ::testing::AssertionFailure() << "rays differ";
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+bitIdentical(const HitRecord &a, const HitRecord &b)
+{
+    if (a.hit != b.hit || a.triangle_id != b.triangle_id ||
+        toBits(a.t) != toBits(b.t) || toBits(a.u) != toBits(b.u) ||
+        toBits(a.v) != toBits(b.v) || toBits(a.w) != toBits(b.w))
+        return ::testing::AssertionFailure()
+               << "hit records differ: {" << a.hit << ", " << a.t << ", "
+               << a.triangle_id << "} vs {" << b.hit << ", " << b.t
+               << ", " << b.triangle_id << "}";
+    return ::testing::AssertionSuccess();
+}
+
+float
+dot3(const Float3 &a, const Float3 &b)
+{
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+Float3
+rayDir(const Ray &r)
+{
+    return {fromBits(r.dir[0]), fromBits(r.dir[1]), fromBits(r.dir[2])};
+}
+
+/** A sphere hovering over a terrain patch: hit pixels on the ground
+ *  near the sphere are shadowed and ambient-occluded. */
+Bvh4
+scenarioScene()
+{
+    auto tris = makeTerrain(10.0f, 16, 0.4f, 3);
+    uint32_t id = uint32_t(tris.size());
+    auto sphere = makeSphere({0, 1.5f, 0}, 1.2f, 10, 14, id);
+    tris.insert(tris.end(), sphere.begin(), sphere.end());
+    return buildBvh4(std::move(tris));
+}
+
+sim::PassConfig
+scenarioConfig()
+{
+    sim::PassConfig cfg;
+    cfg.camera.eye = {4.0f, 5.0f, 7.0f};
+    cfg.camera.look_at = {0.0f, 0.5f, 0.0f};
+    cfg.camera.width = 14;
+    cfg.camera.height = 12;
+    cfg.t_max = 100.0f;
+    cfg.light_dir = {0.2f, 1.0f, 0.1f};
+    cfg.ao_samples = 4;
+    cfg.ao_radius = 2.0f;
+    cfg.bounce = true;
+    cfg.seed = 9;
+    return cfg;
+}
+
+} // namespace
+
+TEST(RayGen, AoFanIsSeededAndBitReproducible)
+{
+    const Float3 p{1, 2, 3}, n{0, 1, 0};
+    RayGen a(7), b(7), c(8);
+    auto fan_a = a.aoFan(p, n, 16, 1e-3f, 5.0f);
+    auto fan_b = b.aoFan(p, n, 16, 1e-3f, 5.0f);
+    auto fan_c = c.aoFan(p, n, 16, 1e-3f, 5.0f);
+    ASSERT_EQ(fan_a.size(), 16u);
+    for (size_t i = 0; i < fan_a.size(); ++i)
+        EXPECT_TRUE(rayBitsEqual(fan_a[i], fan_b[i])) << i;
+    EXPECT_NE(a.fanPhase(), c.fanPhase());
+    bool any_diff = false;
+    for (size_t i = 0; i < fan_a.size(); ++i)
+        any_diff = any_diff || !rayBitsEqual(fan_a[i], fan_c[i]);
+    EXPECT_TRUE(any_diff) << "distinct seeds must rotate the fan";
+}
+
+TEST(RayGen, AoFanCoversTheHemisphereInsideTheExtent)
+{
+    const Float3 p{0, 0, 0};
+    const Float3 n{0.6f, 0.8f, 0.0f};
+    RayGen gen(3);
+    auto fan = gen.aoFan(p, n, 32, 1e-3f, 2.5f);
+    ASSERT_EQ(fan.size(), 32u);
+    for (const Ray &r : fan) {
+        EXPECT_GT(dot3(rayDir(r), n), 0.0f) << "below the surface";
+        EXPECT_EQ(r.t_beg, toBits(1e-3f));
+        EXPECT_EQ(r.t_end, toBits(2.5f));
+    }
+    // Not a degenerate pencil: azimuths actually spread.
+    bool spread = false;
+    for (size_t i = 1; i < fan.size(); ++i)
+        spread = spread ||
+                 dot3(rayDir(fan[i]), rayDir(fan[0])) < 0.5f;
+    EXPECT_TRUE(spread);
+}
+
+TEST(RayGen, ShadowRayCarriesTheGuardedExtent)
+{
+    Ray r = RayGen::shadowRay({1, 1, 1}, {0, 1, 0}, {0.5f, 1.0f, 0.3f},
+                              1e-3f, 50.0f);
+    EXPECT_EQ(r.t_beg, toBits(1e-3f));
+    EXPECT_EQ(r.t_end, toBits(50.0f));
+    EXPECT_EQ(fromBits(r.origin[1]), 1.0f + 1e-3f); // offset along n
+    EXPECT_EQ(fromBits(r.origin[0]), 1.0f);
+}
+
+TEST(RayGen, BounceRayMirrorsTheIncomingDirection)
+{
+    Ray r = RayGen::bounceRay({0, 0, 0}, {0, 0, 1}, {0.6f, 0.0f, -0.8f},
+                              1e-3f, 10.0f);
+    Float3 d = rayDir(r);
+    EXPECT_FLOAT_EQ(d[0], 0.6f);
+    EXPECT_FLOAT_EQ(d[1], 0.0f);
+    EXPECT_FLOAT_EQ(d[2], 0.8f);
+    EXPECT_EQ(r.t_beg, toBits(1e-3f));
+}
+
+TEST(RayGen, BvhCameraDelegatesBitForBit)
+{
+    Pinhole ph;
+    ph.eye = {1, 2, 8};
+    ph.look_at = {0, 0.5f, 0};
+    ph.width = 9;
+    ph.height = 7;
+    Camera cam;
+    cam.eye = {1, 2, 8};
+    cam.look_at = {0, 0.5f, 0};
+    cam.width = 9;
+    cam.height = 7;
+    auto rays = RayGen::primaryRays(ph, 123.0f);
+    ASSERT_EQ(rays.size(), 63u);
+    size_t k = 0;
+    for (unsigned y = 0; y < ph.height; ++y)
+        for (unsigned x = 0; x < ph.width; ++x)
+            EXPECT_TRUE(
+                rayBitsEqual(rays[k++], cam.primaryRay(x, y, 123.0f)));
+}
+
+TEST(Scenarios, RenderPassesBitIdenticalAcrossThreadCounts)
+{
+    Bvh4 bvh = scenarioScene();
+    sim::PassConfig pcfg = scenarioConfig();
+
+    sim::EngineConfig ecfg;
+    ecfg.model = sim::ExecutionModel::Functional;
+    ecfg.batch_size = 32;
+    ecfg.threads = 1;
+    sim::Engine ref_engine(ecfg);
+    sim::PassesReport ref = sim::renderPasses(ref_engine, bvh, pcfg);
+
+    const size_t n_px = size_t(pcfg.camera.width) * pcfg.camera.height;
+    ASSERT_EQ(ref.primary.hits.size(), n_px);
+    size_t n_hit = 0, n_shadowed = 0;
+    for (size_t i = 0; i < n_px; ++i) {
+        if (ref.primary.hits[i].hit) {
+            ++n_hit;
+            n_shadowed += ref.lit[i] ? 0 : 1;
+        }
+        ASSERT_GE(ref.ao_open[i], 0.0f);
+        ASSERT_LE(ref.ao_open[i], 1.0f);
+    }
+    ASSERT_GT(n_hit, 0u);
+    ASSERT_GT(n_shadowed, 0u) << "the sphere must shadow the ground";
+    // One shadow + one bounce ray per hit pixel plus the AO fan.
+    EXPECT_EQ(ref.total_rays, n_px + n_hit * (2 + pcfg.ao_samples));
+    // Raw secondary records are released after their reduction into
+    // the per-pixel arrays (see PassesReport).
+    EXPECT_TRUE(ref.shadow.hits.empty());
+    EXPECT_TRUE(ref.ao.hits.empty());
+    EXPECT_TRUE(ref.bounce.hits.empty());
+
+    for (unsigned threads : {2u, 8u}) {
+        ecfg.threads = threads;
+        sim::Engine engine(ecfg);
+        sim::PassesReport rep = sim::renderPasses(engine, bvh, pcfg);
+        for (size_t i = 0; i < n_px; ++i) {
+            ASSERT_TRUE(bitIdentical(rep.primary.hits[i],
+                                     ref.primary.hits[i]))
+                << "pixel " << i << " at " << threads << " threads";
+            ASSERT_EQ(toBits(rep.diffuse[i]), toBits(ref.diffuse[i]));
+            ASSERT_EQ(rep.lit[i], ref.lit[i]);
+            ASSERT_EQ(toBits(rep.ao_open[i]), toBits(ref.ao_open[i]));
+            ASSERT_TRUE(
+                bitIdentical(rep.bounce_hits[i], ref.bounce_hits[i]));
+        }
+        EXPECT_EQ(rep.traversal, ref.traversal) << threads;
+        EXPECT_EQ(rep.total_rays, ref.total_rays);
+    }
+}
+
+TEST(Scenarios, RenderPassesModelsAgree)
+{
+    // The cycle-accurate RT unit and the functional traverser take the
+    // same intersection decisions, so a whole scenario run - including
+    // the any-hit shadow pass, now timeable - agrees across models.
+    Bvh4 bvh = scenarioScene();
+    sim::PassConfig pcfg = scenarioConfig();
+    pcfg.camera.width = 10;
+    pcfg.camera.height = 8;
+    pcfg.ao_samples = 0; // keep the cycle-accurate run small
+    pcfg.bounce = false;
+
+    sim::EngineConfig fcfg;
+    fcfg.model = sim::ExecutionModel::Functional;
+    fcfg.batch_size = 16;
+    fcfg.threads = 2;
+    sim::Engine functional(fcfg);
+    sim::PassesReport f = sim::renderPasses(functional, bvh, pcfg);
+
+    sim::EngineConfig ccfg;
+    ccfg.model = sim::ExecutionModel::CycleAccurate;
+    ccfg.batch_size = 16;
+    ccfg.threads = 2;
+    sim::Engine cycle(ccfg);
+    sim::PassesReport c = sim::renderPasses(cycle, bvh, pcfg);
+
+    ASSERT_EQ(f.primary.hits.size(), c.primary.hits.size());
+    for (size_t i = 0; i < f.primary.hits.size(); ++i) {
+        ASSERT_TRUE(bitIdentical(f.primary.hits[i], c.primary.hits[i]))
+            << i;
+        ASSERT_EQ(f.lit[i], c.lit[i]) << i;
+    }
+    // The cycle-accurate scenario actually produced timing.
+    EXPECT_GT(c.unit.cycles, 0u);
+    EXPECT_GT(c.unit.rays_completed, 0u);
+    EXPECT_EQ(c.unit.rays_completed, c.total_rays);
+}

@@ -16,6 +16,7 @@
 using namespace rayflex;
 using namespace rayflex::core;
 using namespace rayflex::bvh;
+using rayflex::fp::fromBits;
 using rayflex::fp::toBits;
 
 namespace
@@ -262,10 +263,85 @@ TEST(SimEngine, AnyHitMode)
         ASSERT_TRUE(bitIdentical(rep.hits[i], ref.hits[i])) << i;
     EXPECT_EQ(rep.traversal, ref.traversal);
 
-    // The cycle-level RT unit models closest-hit traversal only.
-    sim::EngineConfig bad;
-    bad.any_hit = true;
-    EXPECT_THROW(sim::Engine(bad).run(bvh, rays), std::invalid_argument);
+    // Shadow batches report stack depth too: anyHit records the
+    // max_stack high-water mark exactly like closestHit.
+    ASSERT_GT(ref.traversal.max_stack, 0u);
+
+    // The cycle-level RT unit models any-hit traversal as well
+    // (TraversalMode::Any): occlusion flags and the reduced records
+    // (only the hit flag set) agree with the functional model
+    // bit-for-bit.
+    sim::EngineConfig ca;
+    ca.any_hit = true;
+    ca.batch_size = 40;
+    ca.threads = 2;
+    sim::EngineReport cyc = sim::Engine(ca).run(bvh, rays);
+    for (size_t i = 0; i < rays.size(); ++i)
+        ASSERT_TRUE(bitIdentical(cyc.hits[i], ref.hits[i])) << i;
+    EXPECT_GT(cyc.unit.cycles, 0u);
+}
+
+TEST(SimEngine, MaxCyclesExceptionPropagatesFromWorkerThreads)
+{
+    // A cycle budget no batch can meet: the std::runtime_error thrown
+    // inside a worker thread must surface from Engine::run, not crash
+    // or deadlock the pool. (The functional/invalid-argument path used
+    // to be the only exception test; this covers the multi-threaded
+    // cycle-accurate one.)
+    Bvh4 bvh = testScene();
+    std::vector<Ray> rays = testRays(bvh, 32);
+
+    sim::EngineConfig cfg;
+    cfg.threads = 4;
+    cfg.batch_size = 8; // 4 batches for 32 rays: all 4 workers draft
+    cfg.max_cycles_per_batch = 10;
+    sim::Engine engine(cfg);
+    EXPECT_THROW(engine.run(bvh, rays), std::runtime_error);
+    // The persistent worker pool survives a failed run and serves the
+    // next one.
+    EXPECT_THROW(engine.run(bvh, rays), std::runtime_error);
+}
+
+TEST(SimEngine, CycleAccurateAnyHitMatchesFunctionalOn10kShadowRays)
+{
+    // Acceptance sweep: >= 10k random shadow-style rays (epsilon lower
+    // bound, finite upper bound); the cycle-accurate and functional
+    // any-hit paths must report identical occlusion flags.
+    Bvh4 bvh = testScene();
+    WorkloadGen gen(123);
+    std::vector<Ray> rays;
+    rays.reserve(10000);
+    for (size_t i = 0; i < 10000; ++i) {
+        Ray r = gen.ray(8.0f);
+        rays.push_back(makeRay(
+            fromBits(r.origin[0]), fromBits(r.origin[1]),
+            fromBits(r.origin[2]), fromBits(r.dir[0]),
+            fromBits(r.dir[1]), fromBits(r.dir[2]), 1e-3f, 30.0f));
+    }
+
+    sim::EngineConfig fcfg;
+    fcfg.model = sim::ExecutionModel::Functional;
+    fcfg.any_hit = true;
+    fcfg.threads = 0; // all cores
+    fcfg.batch_size = 512;
+    sim::EngineReport fun = sim::Engine(fcfg).run(bvh, rays);
+
+    sim::EngineConfig ccfg;
+    ccfg.model = sim::ExecutionModel::CycleAccurate;
+    ccfg.any_hit = true;
+    ccfg.threads = 0;
+    ccfg.batch_size = 512;
+    sim::EngineReport cyc = sim::Engine(ccfg).run(bvh, rays);
+
+    size_t occluded = 0;
+    for (size_t i = 0; i < rays.size(); ++i) {
+        ASSERT_EQ(cyc.hits[i].hit, fun.hits[i].hit) << "ray " << i;
+        occluded += fun.hits[i].hit;
+    }
+    // The sweep exercises both outcomes.
+    EXPECT_GT(occluded, 100u);
+    EXPECT_GT(rays.size() - occluded, 100u);
+    EXPECT_EQ(cyc.unit.rays_completed, rays.size());
 }
 
 TEST(SimEngine, EmptySceneMissesEverything)
