@@ -6,12 +6,17 @@
  * single-thread engine path against the bare single-unit loop, the
  * any-hit shadow batches the cycle-accurate RT unit can now time, and
  * the multi-pass scenario path (sim::renderPasses) on the persistent
- * worker pool. The thread-count sweep is the scaling evidence for the
- * engine: per-ray results are bit-identical at every point
- * (tests/test_sim_engine.cc), so every column of this benchmark
- * computes the same answer.
+ * worker pool, and the node-cache scene-size sweep: a fixed-size cache
+ * against BVHs of growing triangle count, reporting the hit-rate and
+ * per-ray memory-stall numbers the flat-latency memory model could not
+ * distinguish across working-set sizes. The thread-count sweep is the
+ * scaling evidence for the engine: per-ray results are bit-identical at
+ * every point (tests/test_sim_engine.cc), so every column of this
+ * benchmark computes the same answer.
  */
 #include <benchmark/benchmark.h>
+
+#include <map>
 
 #include "bvh/scene.hh"
 #include "core/raygen.hh"
@@ -217,3 +222,81 @@ BENCHMARK(BM_RenderPassesFunctional)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+namespace
+{
+
+/** Terrain BVH of parametric resolution, cached per argument so the
+ *  timing loop never rebuilds scenes. */
+const Bvh4 &
+sweepScene(unsigned res)
+{
+    static std::map<unsigned, Bvh4> scenes;
+    auto it = scenes.find(res);
+    if (it == scenes.end())
+        it = scenes
+                 .emplace(res,
+                          buildBvh4(makeTerrain(20.0f, res, 0.5f, 11)))
+                 .first;
+    return it->second;
+}
+
+} // namespace
+
+static void
+BM_NodeCacheSceneSweep(benchmark::State &state)
+{
+    // Scene-size sweep for the node-cache memory model: the same 4 KiB
+    // probe cache against terrain BVHs of growing triangle count, one
+    // fixed camera batch per scene. The flat fixed-latency model
+    // charges every fetch alike, so its timing was blind to the
+    // working set; with the cache the hit-rate falls monotonically as
+    // the BVH outgrows the 4 KiB and cycles/ray grows with it
+    // (tests/test_mem_model.cc pins both). stalls_per_ray responds to
+    // the working set too but is not strictly monotone — issue-slot
+    // accounting interacts with fetch overlap. Scene, camera and
+    // engine setup mirror HitRateFallsAsSceneOutgrowsCache in
+    // tests/test_mem_model.cc; retune them together.
+    const unsigned res = unsigned(state.range(0));
+    const Bvh4 &bvh = sweepScene(res);
+
+    Camera cam;
+    cam.look_at = bvh.root_bounds.centre();
+    cam.eye = {6.0f, 10.0f, 18.0f};
+    cam.width = 24;
+    cam.height = 24;
+    std::vector<Ray> rays;
+    for (unsigned y = 0; y < cam.height; ++y)
+        for (unsigned x = 0; x < cam.width; ++x)
+            rays.push_back(cam.primaryRay(x, y, 1000.0f));
+
+    sim::EngineConfig cfg;
+    cfg.threads = 1;
+    cfg.batch_size = 0; // one batch: one cache serves the whole sweep
+    cfg.rt.mem_backend = MemBackend::NodeCache;
+    cfg.rt.cache = kProbeCache4KiB;
+
+    sim::EngineReport rep;
+    for (auto _ : state) {
+        rep = sim::Engine(cfg).run(bvh, rays);
+        benchmark::DoNotOptimize(rep.unit.cycles);
+    }
+
+    const uint64_t node_bytes =
+        uint64_t(bvh.nodes.size()) * kNodeStrideBytes;
+    state.counters["bvh_nodes"] = double(bvh.nodes.size());
+    state.counters["working_set_KiB"] =
+        double(node_bytes +
+               uint64_t(bvh.tris.size()) * kTriStrideBytes) /
+        1024.0;
+    state.counters["cache_hit_rate"] = rep.unit.mem.hitRate();
+    state.counters["stalls_per_ray"] =
+        double(rep.unit.stall_on_memory) / double(rays.size());
+    state.counters["cycles_per_ray"] =
+        double(rep.unit.cycles) / double(rays.size());
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rays.size()));
+}
+BENCHMARK(BM_NodeCacheSceneSweep)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);

@@ -14,9 +14,14 @@
  * image is bit-identical for every value of [threads].
  *
  * Usage: render_scene [width] [height] [scene] [out.ppm] [threads] [ao]
+ *                     [cache]
  *   scene: sphere | torus | terrain | mixed (default mixed)
  *   threads: engine workers, 0 = all cores (default 0)
  *   ao: ambient-occlusion rays per hit pixel (default 0 = off)
+ *   cache: 1 = after rendering, time the primary batch on the
+ *          cycle-accurate engine twice - flat-latency memory vs a 4 KiB
+ *          node cache - and report hit-rate, stalls and cycles/ray
+ *          (default 0 = off; the image is unaffected)
  */
 #include <cstdio>
 #include <cstring>
@@ -65,6 +70,7 @@ main(int argc, char **argv)
     std::string out_path = argc > 4 ? argv[4] : "render.ppm";
     unsigned threads = argc > 5 ? unsigned(atoi(argv[5])) : 0;
     unsigned ao_samples = argc > 6 ? unsigned(atoi(argv[6])) : 0;
+    bool cache_probe = argc > 7 && atoi(argv[7]) != 0;
 
     auto tris = buildScene(scene_name);
     Bvh4 bvh = buildBvh4(tris);
@@ -158,5 +164,38 @@ main(int argc, char **argv)
            double(st.box_ops) / double(rays),
            double(st.tri_ops) / double(rays),
            1455.0 / (double(st.box_ops + st.tri_ops) / double(rays)));
+
+    if (cache_probe) {
+        // Re-trace the primary batch cycle-accurately under both memory
+        // backends. Same rays, same hits - only the fetch timing moves,
+        // which is exactly what the pluggable MemoryModel isolates.
+        std::vector<Ray> primary =
+            RayGen::primaryRays(pcfg.camera, pcfg.t_max);
+        sim::EngineConfig ccfg;
+        ccfg.threads = threads;
+        ccfg.batch_size = 2048;
+        ccfg.model = sim::ExecutionModel::CycleAccurate;
+        sim::EngineReport flat =
+            sim::Engine(ccfg).run(bvh, primary);
+        ccfg.rt.mem_backend = MemBackend::NodeCache;
+        ccfg.rt.cache = kProbeCache4KiB;
+        sim::EngineReport cached =
+            sim::Engine(ccfg).run(bvh, primary);
+        printf("memory probe (primary batch, cycle-accurate):\n");
+        printf("  flat %u-cycle fetch: %.2f cycles/ray, %llu memory "
+               "stalls\n",
+               ccfg.rt.mem_latency,
+               double(flat.unit.cycles) / double(primary.size()),
+               (unsigned long long)flat.unit.stall_on_memory);
+        printf("  4 KiB node cache:    %.2f cycles/ray, %llu memory "
+               "stalls, %.1f%% hit rate (%llu hits / %llu misses / "
+               "%llu evictions)\n",
+               double(cached.unit.cycles) / double(primary.size()),
+               (unsigned long long)cached.unit.stall_on_memory,
+               100.0 * cached.unit.mem.hitRate(),
+               (unsigned long long)cached.unit.mem.hits,
+               (unsigned long long)cached.unit.mem.misses,
+               (unsigned long long)cached.unit.mem.evictions);
+    }
     return 0;
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Fail on broken relative links in the repo's markdown files.
+#
+# Checks every inline markdown link target ( [text](target) ) that is
+# not an absolute URL or a pure in-page anchor: the target, resolved
+# relative to the file containing it and with any #fragment stripped,
+# must exist. Grep-based on purpose - no network, no dependencies -
+# so it runs identically in CI and locally:
+#
+#   scripts/check_md_links.sh [dir]
+set -u
+
+root="${1:-.}"
+status=0
+checked=0
+
+list_md_files() {
+    # Tracked + untracked (non-ignored) markdown inside a git checkout;
+    # plain find otherwise. One path per line.
+    if git -C "$root" rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+        git -C "$root" ls-files --cached --others --exclude-standard \
+            '*.md'
+    else
+        (cd "$root" && find . -name '*.md' -not -path './build*')
+    fi
+}
+
+while IFS= read -r f; do
+    [ -n "$f" ] || continue
+    dir=$(dirname "$root/$f")
+    # Inline link targets, one per line: fenced code blocks are
+    # stripped first (example links in ``` fences are not rendered
+    # links), optional '"title"' suffixes are dropped, and schemes
+    # (http:, https:, mailto:), protocol-relative // and in-page
+    # #anchors are excluded.
+    while IFS= read -r t; do
+        [ -n "$t" ] || continue
+        path="${t%%#*}" # strip fragment
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $f -> $t" >&2
+            status=1
+        fi
+    done < <(awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' \
+                 "$root/$f" 2>/dev/null \
+             | grep -oE '\]\([^)]+\)' \
+             | sed -e 's/^](//' -e 's/)$//' \
+                   -e 's/[[:space:]]\{1,\}"[^"]*"$//' \
+             | grep -vE '^([a-z]+:|//|#)' || true)
+done < <(list_md_files)
+
+echo "check_md_links: $checked relative link(s) checked"
+exit $status

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * NodeCache implementation.
+ *
+ * Line indexing uses plain division/modulo rather than bit shifts, so
+ * line_bytes and sets need not be powers of two; any positive geometry
+ * is a valid cache and any zero dimension degenerates to a cache that
+ * misses every access without ever holding a line.
+ */
+#include "bvh/mem_model.hh"
+
+namespace rayflex::bvh
+{
+
+NodeCache::NodeCache(const NodeCacheConfig &cfg) : cfg_(cfg)
+{
+    lines_.resize(size_t(cfg_.sets) * cfg_.ways);
+}
+
+void
+NodeCache::reset()
+{
+    lines_.assign(lines_.size(), Line{});
+    tick_ = 0;
+    stats_ = {};
+}
+
+bool
+NodeCache::touchLine(uint64_t line)
+{
+    Line *set = lines_.data() + size_t(line % cfg_.sets) * cfg_.ways;
+    ++tick_;
+
+    Line *victim = set;
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+        Line &l = set[w];
+        if (l.valid && l.tag == line) {
+            l.last_used = tick_;
+            ++stats_.hits;
+            return true;
+        }
+        // Victim preference: first invalid way, else the least recently
+        // used one; ties break toward the lowest way index, keeping
+        // replacement a pure function of the access sequence.
+        if (!victim->valid)
+            continue;
+        if (!l.valid || l.last_used < victim->last_used)
+            victim = &l;
+    }
+
+    ++stats_.misses;
+    if (victim->valid)
+        ++stats_.evictions;
+    victim->tag = line;
+    victim->last_used = tick_;
+    victim->valid = true;
+    return false;
+}
+
+unsigned
+NodeCache::access(uint64_t addr, uint32_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    if (cfg_.line_bytes == 0 || cfg_.sets == 0 || cfg_.ways == 0) {
+        // Zero-capacity degenerate: nothing can be resident, but the
+        // miss counter keeps its line-fill semantics — one miss per
+        // touched line (one per access when lines are unaddressable).
+        stats_.misses +=
+            cfg_.line_bytes ? (addr + bytes - 1) / cfg_.line_bytes -
+                                  addr / cfg_.line_bytes + 1
+                            : 1;
+        return cfg_.miss_latency;
+    }
+    const uint64_t first = addr / cfg_.line_bytes;
+    const uint64_t last = (addr + bytes - 1) / cfg_.line_bytes;
+    bool all_hit = true;
+    for (uint64_t line = first; line <= last; ++line)
+        all_hit &= touchLine(line);
+    return all_hit ? cfg_.hit_latency : cfg_.miss_latency;
+}
+
+std::unique_ptr<MemoryModel>
+makeMemoryModel(MemBackend backend, unsigned fixed_latency,
+                const NodeCacheConfig &cache)
+{
+    if (backend == MemBackend::NodeCache)
+        return std::make_unique<NodeCache>(cache);
+    return std::make_unique<FixedLatencyMemory>(fixed_latency);
+}
+
+} // namespace rayflex::bvh

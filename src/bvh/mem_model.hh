@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Pluggable memory models for the RT unit's node-fetch path.
+ *
+ * The paper models only the intersection-test datapath and defers
+ * memory scheduling to the enclosing RT unit; bvh::RtUnit stands in for
+ * that unit and originally charged one flat latency for every BVH
+ * fetch, which made its stall_on_memory counter insensitive to the
+ * working-set size. This module is the seam that fixes that: the unit
+ * asks a MemoryModel for the latency of each fetch, and two backends
+ * are provided —
+ *
+ *   * FixedLatencyMemory reproduces the original flat-latency timing
+ *     bit-for-bit (every access costs the same number of cycles), and
+ *   * NodeCache models a small set-associative cache over the BVH
+ *     address space (configurable line size, sets, ways and hit/miss
+ *     latencies) with LRU replacement and per-run CacheStats.
+ *
+ * Addresses are synthetic but stable: nodes and triangles live at
+ * fixed strides in a flat address space (see kNodeStrideBytes /
+ * kTriStrideBytes and RtUnit's address map), so cache behavior depends
+ * only on the traversal order and the BVH shape — never on host
+ * pointers — and stays deterministic across runs and worker counts.
+ *
+ * CacheStats merges with commutative-associative sums exactly like
+ * RtUnitStats, so sim::Engine's sharded workers can aggregate cache
+ * counters batch-by-batch in any order and always produce the same
+ * totals.
+ */
+#ifndef RAYFLEX_BVH_MEM_MODEL_HH
+#define RAYFLEX_BVH_MEM_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rayflex::bvh
+{
+
+/** Byte stride of one WideNode in the synthetic BVH address space:
+ *  four children of 32 bytes each (six bounds floats + index + count). */
+inline constexpr uint32_t kNodeStrideBytes = 128;
+
+/** Byte stride of one SceneTriangle: three 12-byte vertices plus the
+ *  id, padded to a 16-byte boundary. */
+inline constexpr uint32_t kTriStrideBytes = 48;
+
+/** Per-run cache counters. All fields are sums of uint64 counts, so
+ *  merging is commutative and associative like RtUnitStats: aggregates
+ *  over many batches are identical no matter which worker ran which
+ *  batch or in what order merges happen. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;    ///< line fills (compulsory + capacity/conflict)
+    uint64_t evictions = 0; ///< valid lines displaced by a fill
+
+    /** Fraction of line touches that hit; 0 when nothing was accessed
+     *  (including every FixedLatencyMemory run). */
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits + misses;
+        return total ? double(hits) / double(total) : 0.0;
+    }
+
+    CacheStats &
+    merge(const CacheStats &o)
+    {
+        hits += o.hits;
+        misses += o.misses;
+        evictions += o.evictions;
+        return *this;
+    }
+
+    friend bool operator==(const CacheStats &,
+                           const CacheStats &) = default;
+};
+
+/** Which MemoryModel backend an RT unit instantiates. */
+enum class MemBackend : uint8_t {
+    /** Flat per-fetch latency (RtUnitConfig::mem_latency); the
+     *  original RT-unit timing, reproduced bit-for-bit. */
+    FixedLatency,
+    /** Set-associative node cache (NodeCacheConfig). */
+    NodeCache,
+};
+
+/** Geometry and timing of the NodeCache backend. */
+struct NodeCacheConfig
+{
+    uint32_t line_bytes = 64; ///< bytes per cache line
+    uint32_t sets = 64;       ///< number of sets
+    uint32_t ways = 4;        ///< lines per set
+    unsigned hit_latency = 2; ///< cycles when every touched line hits
+    unsigned miss_latency = 20; ///< cycles when any touched line misses
+
+    /** Total capacity; 0 for any degenerate dimension (a zero-capacity
+     *  cache is legal: every access misses, nothing is ever resident). */
+    uint64_t
+    capacityBytes() const
+    {
+        return uint64_t(line_bytes) * sets * ways;
+    }
+
+    friend bool operator==(const NodeCacheConfig &,
+                           const NodeCacheConfig &) = default;
+};
+
+/** The canonical probe cache shared by the scene-size sweep
+ *  (BM_NodeCacheSceneSweep), the render_scene memory probe and the
+ *  monotonicity tests: 4 KiB as 16 sets x 4 ways x 64-byte lines,
+ *  default hit/miss latencies. Small on purpose — real scenes outgrow
+ *  it, which is the signal the sweep exists to show. */
+inline constexpr NodeCacheConfig kProbeCache4KiB{
+    /*line_bytes=*/64, /*sets=*/16, /*ways=*/4};
+
+/**
+ * The memory-path seam of the RT unit. One instance serves one unit;
+ * implementations are deterministic functions of the access sequence,
+ * which keeps the engine's bit-identical-across-thread-counts contract
+ * intact (each worker's unit owns a private model).
+ */
+class MemoryModel
+{
+  public:
+    virtual ~MemoryModel() = default;
+
+    /** Latency in cycles of fetching the `bytes`-byte object at `addr`.
+     *  Called once per RT-unit fetch, in traversal order. */
+    virtual unsigned access(uint64_t addr, uint32_t bytes) = 0;
+
+    /** Counters accumulated since construction or the last reset().
+     *  Backends without cache state report all-zero stats. */
+    virtual CacheStats stats() const { return {}; }
+
+    /** Drop all cached state and counters (start of an RtUnit::run). */
+    virtual void reset() {}
+};
+
+/** The original flat-latency backend: every access costs the same. */
+class FixedLatencyMemory final : public MemoryModel
+{
+  public:
+    explicit FixedLatencyMemory(unsigned latency) : latency_(latency) {}
+
+    unsigned access(uint64_t, uint32_t) override { return latency_; }
+
+  private:
+    unsigned latency_;
+};
+
+/**
+ * Set-associative cache with LRU replacement over the synthetic BVH
+ * address space. A fetch touches every line overlapping
+ * [addr, addr + bytes); it costs hit_latency when all touched lines are
+ * resident and miss_latency when any must be filled (the fills happen
+ * as part of the access, so a revisit hits). Replacement is
+ * least-recently-used with a deterministic tie-break (lowest way), so
+ * the model is a pure function of the access sequence.
+ */
+class NodeCache final : public MemoryModel
+{
+  public:
+    explicit NodeCache(const NodeCacheConfig &cfg);
+
+    unsigned access(uint64_t addr, uint32_t bytes) override;
+    CacheStats stats() const override { return stats_; }
+    void reset() override;
+
+    const NodeCacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;       ///< full line index (addr / line_bytes)
+        uint64_t last_used = 0; ///< LRU clock value of the last touch
+        bool valid = false;
+    };
+
+    /** Touch one line; fills on miss. @return true on hit. */
+    bool touchLine(uint64_t line);
+
+    NodeCacheConfig cfg_;
+    std::vector<Line> lines_; ///< sets * ways, set-major
+    uint64_t tick_ = 0;       ///< LRU clock
+    CacheStats stats_;
+};
+
+/** Instantiate the backend an RtUnitConfig selects. */
+std::unique_ptr<MemoryModel>
+makeMemoryModel(MemBackend backend, unsigned fixed_latency,
+                const NodeCacheConfig &cache);
+
+} // namespace rayflex::bvh
+
+#endif // RAYFLEX_BVH_MEM_MODEL_HH

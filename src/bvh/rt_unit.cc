@@ -8,6 +8,14 @@
  * slots from the submission queue. All interactions with the datapath go
  * through the ordinary valid-ready handshake, so the unit observes real
  * pipeline back-pressure.
+ *
+ * Fetch latency comes from the configured MemoryModel. The address map
+ * is synthetic but stable: node i occupies
+ * [i * kNodeStrideBytes, (i+1) * kNodeStrideBytes) and the triangle
+ * region starts immediately after the last node, with triangle j at
+ * tri_base + j * kTriStrideBytes. A leaf fetch reads all of the leaf's
+ * triangles in one request, so the cache sees the same spatial
+ * locality the traversal order produces.
  */
 #include "bvh/rt_unit.hh"
 
@@ -22,8 +30,23 @@ using fp::fromBits;
 RtUnit::RtUnit(const Bvh4 &bvh, core::RayFlexDatapath &dp,
                const RtUnitConfig &cfg)
     : pipeline::Component("rt-unit"), bvh_(bvh), dp_(dp), cfg_(cfg),
+      mem_(makeMemoryModel(cfg.mem_backend, cfg.mem_latency, cfg.cache)),
+      tri_base_(uint64_t(bvh.nodes.size()) * kNodeStrideBytes),
       entries_(cfg.ray_buffer_entries)
 {}
+
+/** Latency of the fetch an entry in NeedFetch is about to issue: the
+ *  whole leaf for leaf work, one wide node otherwise. */
+unsigned
+RtUnit::fetchLatency(const Entry &e)
+{
+    if (e.leaf_count > 0)
+        return mem_->access(tri_base_ +
+                                uint64_t(e.leaf_first) * kTriStrideBytes,
+                            e.leaf_count * kTriStrideBytes);
+    return mem_->access(uint64_t(e.node) * kNodeStrideBytes,
+                        kNodeStrideBytes);
+}
 
 void
 RtUnit::submit(const core::Ray &ray, uint32_t ray_id)
@@ -216,12 +239,22 @@ RtUnit::advance(uint64_t cycle)
     if (dp_.out().valid && dp_.out().ready)
         handleResult(dp_.out().bits);
 
-    // (c) Memory: retire due responses, issue new fetches.
-    while (!mem_queue_.empty() && mem_queue_.front().done_cycle <= now_) {
-        Entry &e = entries_[mem_queue_.front().entry];
-        e.state = e.leaf_count > 0 ? EntryState::ReadyTri
-                                   : EntryState::ReadyBox;
-        mem_queue_.pop_front();
+    // (c) Memory: retire due responses, issue new fetches. Retirement
+    // is completion-ordered, not FIFO: with the cache backend a cheap
+    // hit issued behind an expensive miss completes first and must not
+    // be held at the queue head, or the hit latency the cache model
+    // exists to expose would be masked. (Under a uniform-latency
+    // backend completion order equals issue order, so this retires
+    // exactly what the original FIFO pop did, cycle for cycle.)
+    for (auto it = mem_queue_.begin(); it != mem_queue_.end();) {
+        if (it->done_cycle <= now_) {
+            Entry &e = entries_[it->entry];
+            e.state = e.leaf_count > 0 ? EntryState::ReadyTri
+                                       : EntryState::ReadyBox;
+            it = mem_queue_.erase(it);
+        } else {
+            ++it;
+        }
     }
     unsigned issued = 0;
     for (size_t i = 0;
@@ -229,7 +262,7 @@ RtUnit::advance(uint64_t cycle)
          ++i) {
         Entry &e = entries_[i];
         if (e.state == EntryState::NeedFetch) {
-            mem_queue_.push_back({i, now_ + cfg_.mem_latency});
+            mem_queue_.push_back({i, now_ + fetchLatency(e)});
             e.state = EntryState::Fetching;
             ++stats_.mem_requests;
             ++issued;
@@ -267,8 +300,10 @@ RtUnit::run(uint64_t max_cycles)
     dp_.registerWith(sim);
     sim.add(this);
     stats_ = {};
+    mem_->reset(); // cold cache per run: runs are reproducible
     while (outstanding_ > 0 && stats_.cycles < max_cycles)
         sim.tick();
+    stats_.mem = mem_->stats();
     if (outstanding_ > 0)
         throw std::runtime_error("RtUnit::run: rays did not complete");
     return stats_;

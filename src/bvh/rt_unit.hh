@@ -7,17 +7,22 @@
  * enclosing RT unit (as modelled by Vulkan-Sim). This module provides a
  * simplified version of that enclosing unit so the pipelined datapath
  * can be exercised under realistic traversal traffic: a ray buffer holds
- * in-flight rays with their traversal stacks, a fixed-latency node-fetch
- * memory model supplies BVH data, and a round-robin scheduler feeds
- * ready rays into the datapath one beat per cycle. This is the model
- * used to measure datapath utilization and rays/cycle on real scenes.
+ * in-flight rays with their traversal stacks, a pluggable MemoryModel
+ * (bvh/mem_model.hh) supplies BVH data — either the original flat
+ * fixed-latency fetch or a set-associative node cache with hit/miss
+ * latencies and per-run CacheStats — and a scheduler feeds ready rays
+ * into the datapath one beat per cycle. This is the model used to
+ * measure datapath utilization, memory sensitivity and rays/cycle on
+ * real scenes.
  */
 #ifndef RAYFLEX_BVH_RT_UNIT_HH
 #define RAYFLEX_BVH_RT_UNIT_HH
 
 #include <deque>
+#include <memory>
 #include <vector>
 
+#include "bvh/mem_model.hh"
 #include "bvh/traversal.hh"
 #include "core/datapath.hh"
 #include "pipeline/component.hh"
@@ -39,9 +44,16 @@ enum class TraversalMode : uint8_t {
 struct RtUnitConfig
 {
     unsigned ray_buffer_entries = 32; ///< rays concurrently in flight
-    unsigned mem_latency = 20;        ///< node fetch latency, cycles
+    /** Node fetch latency, cycles (MemBackend::FixedLatency). */
+    unsigned mem_latency = 20;
     unsigned mem_requests_per_cycle = 1;
     TraversalMode mode = TraversalMode::Closest;
+
+    /** Which memory model serves BVH fetches. The default reproduces
+     *  the original flat-latency timing bit-for-bit. */
+    MemBackend mem_backend = MemBackend::FixedLatency;
+    /** Cache geometry and timing (MemBackend::NodeCache). */
+    NodeCacheConfig cache;
 };
 
 /** Per-run statistics. */
@@ -53,6 +65,11 @@ struct RtUnitStats
     uint64_t datapath_idle = 0;    ///< cycles with no beat issued
     uint64_t mem_requests = 0;
     uint64_t stall_on_memory = 0;  ///< issue slots lost waiting on fetch
+
+    /** Node-cache counters; all-zero under MemBackend::FixedLatency.
+     *  Merges with the same commutative sums as the rest of the
+     *  struct, so sharded aggregation stays order-independent. */
+    CacheStats mem;
 
     /** Fraction of cycles the datapath accepted a beat. */
     double
@@ -74,6 +91,7 @@ struct RtUnitStats
         datapath_idle += o.datapath_idle;
         mem_requests += o.mem_requests;
         stall_on_memory += o.stall_on_memory;
+        mem.merge(o.mem);
         return *this;
     }
 
@@ -147,10 +165,13 @@ class RtUnit : public pipeline::Component
     void popWork(Entry &e);
     void finishRay(Entry &e, const HitRecord &rec);
     void handleResult(const core::DatapathOutput &out);
+    unsigned fetchLatency(const Entry &e);
 
     const Bvh4 &bvh_;
     core::RayFlexDatapath &dp_;
     RtUnitConfig cfg_;
+    std::unique_ptr<MemoryModel> mem_;
+    uint64_t tri_base_ = 0; ///< triangle region base address
 
     std::vector<Entry> entries_;
     std::deque<std::pair<core::Ray, uint32_t>> pending_rays_;

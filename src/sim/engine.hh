@@ -78,8 +78,13 @@ struct EngineConfig
      *  hit-record contract. */
     bool any_hit = false;
 
-    /** Per-worker RT-unit parameters (CycleAccurate model). The
-     *  traversal mode is overridden from `any_hit`. */
+    /** Per-worker RT-unit parameters (CycleAccurate model), including
+     *  the memory backend: rt.mem_backend selects the flat-latency
+     *  fetch or the set-associative node cache (rt.cache), and every
+     *  worker's unit owns a private model instance, so the cached
+     *  backend keeps the determinism contract (each batch warms a cold
+     *  cache of its own). The traversal mode is overridden from
+     *  `any_hit`. */
     bvh::RtUnitConfig rt;
 
     /** Per-worker datapath configuration (CycleAccurate model). */
@@ -105,7 +110,9 @@ struct EngineReport
 
     /** Merged RT-unit counters (CycleAccurate model). `cycles` is the
      *  sum of simulated cycles across batches - the sequential-machine
-     *  cycle count - not wall-clock. */
+     *  cycle count - not wall-clock. `unit.mem` carries the merged
+     *  node-cache counters (hits/misses/evictions summed across
+     *  batches; all-zero under the flat-latency backend). */
     bvh::RtUnitStats unit;
 
     /** Merged traversal counters (Functional model). */

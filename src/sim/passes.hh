@@ -83,7 +83,9 @@ struct PassesReport
 
     /** Merged traversal counters across all passes (Functional). */
     bvh::TraversalStats traversal;
-    /** Merged RT-unit counters across all passes (CycleAccurate). */
+    /** Merged RT-unit counters across all passes (CycleAccurate);
+     *  includes the node-cache counters in `unit.mem` when the engine
+     *  runs the cached memory backend. */
     bvh::RtUnitStats unit;
 
     uint64_t total_rays = 0;

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests of the pluggable RT-unit memory models (bvh/mem_model.hh):
+ * the FixedLatencyMemory backend's bit-identity with the original
+ * flat-latency timing, the NodeCache's LRU/eviction mechanics and
+ * degenerate geometries, the CacheStats merge contract, and the
+ * engine-level determinism sweep with the cached backend — mirroring
+ * test_sim_engine at 1/2/8 workers — plus the scene-size sweep
+ * acceptance property: the hit-rate falls monotonically as the BVH
+ * outgrows the cache.
+ */
+#include <gtest/gtest.h>
+
+#include "bvh/mem_model.hh"
+#include "bvh/scene.hh"
+#include "core/workloads.hh"
+#include "sim/engine.hh"
+
+using namespace rayflex;
+using namespace rayflex::bvh;
+using namespace rayflex::core;
+using rayflex::fp::toBits;
+
+namespace
+{
+
+/** Bit-level equality of two hit records (same helper contract as
+ *  test_sim_engine: float == would accept -0.0f vs 0.0f). */
+::testing::AssertionResult
+bitIdentical(const HitRecord &a, const HitRecord &b)
+{
+    if (a.hit != b.hit || a.triangle_id != b.triangle_id ||
+        toBits(a.t) != toBits(b.t) || toBits(a.u) != toBits(b.u) ||
+        toBits(a.v) != toBits(b.v) || toBits(a.w) != toBits(b.w))
+        return ::testing::AssertionFailure()
+               << "hit records differ: {" << a.hit << ", " << a.t << ", "
+               << a.triangle_id << "} vs {" << b.hit << ", " << b.t
+               << ", " << b.triangle_id << "}";
+    return ::testing::AssertionSuccess();
+}
+
+/** A mixed scene with both hits and misses well represented. */
+Bvh4
+testScene()
+{
+    auto tris = makeSphere({0, 0, 0}, 2.0f, 12, 16);
+    uint32_t id = uint32_t(tris.size());
+    auto soup = makeSoup(300, 6.0f, 0.8f, 17, id);
+    tris.insert(tris.end(), soup.begin(), soup.end());
+    return buildBvh4(std::move(tris));
+}
+
+/** Camera rays plus random rays (some aimed away from the scene). */
+std::vector<Ray>
+testRays(const Bvh4 &bvh, size_t n_random)
+{
+    Camera cam;
+    cam.look_at = bvh.root_bounds.centre();
+    cam.eye = {0.5f, 1.0f, 9.0f};
+    cam.width = 16;
+    cam.height = 16;
+    std::vector<Ray> rays;
+    for (unsigned y = 0; y < cam.height; ++y)
+        for (unsigned x = 0; x < cam.width; ++x)
+            rays.push_back(cam.primaryRay(x, y, 100.0f));
+    WorkloadGen gen(99);
+    for (size_t i = 0; i < n_random; ++i)
+        rays.push_back(gen.ray(8.0f));
+    return rays;
+}
+
+/** Strip the cache counters so timing-only comparisons can use the
+ *  defaulted operator== on the rest of the struct. */
+RtUnitStats
+timingOnly(RtUnitStats s)
+{
+    s.mem = {};
+    return s;
+}
+
+} // namespace
+
+TEST(CacheStats, MergeIsCommutativeSum)
+{
+    CacheStats a{10, 4, 1};
+    CacheStats b{3, 9, 2};
+    CacheStats ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab, ba);
+    EXPECT_EQ(ab.hits, 13u);
+    EXPECT_EQ(ab.misses, 13u);
+    EXPECT_EQ(ab.evictions, 3u);
+    EXPECT_DOUBLE_EQ(ab.hitRate(), 0.5);
+    EXPECT_EQ(CacheStats{}.hitRate(), 0.0);
+}
+
+TEST(FixedLatencyMemory, EveryAccessCostsTheConfiguredLatency)
+{
+    FixedLatencyMemory mem(20);
+    for (uint64_t addr : {0ull, 64ull, 12345ull, 1ull << 40})
+        for (uint32_t bytes : {1u, 48u, 128u, 4096u})
+            EXPECT_EQ(mem.access(addr, bytes), 20u);
+    EXPECT_EQ(mem.stats(), CacheStats{});
+}
+
+TEST(FixedLatencyMemory, DefaultRtUnitTimingIsReproducible)
+{
+    // The default backend is FixedLatency; two engine runs of the same
+    // workload must agree on every counter, and the cache stats of a
+    // fixed-latency run stay all-zero (nothing is being cached).
+    Bvh4 bvh = testScene();
+    std::vector<Ray> rays = testRays(bvh, 32);
+    sim::EngineConfig cfg;
+    cfg.threads = 1;
+    cfg.batch_size = 64;
+    sim::EngineReport a = sim::Engine(cfg).run(bvh, rays);
+    sim::EngineReport b = sim::Engine(cfg).run(bvh, rays);
+    EXPECT_EQ(a.unit, b.unit);
+    EXPECT_EQ(a.unit.mem, CacheStats{});
+    ASSERT_GT(a.unit.cycles, 0u);
+}
+
+TEST(NodeCache, UniformLatencyCacheIsCycleIdenticalToFixedLatency)
+{
+    // A cache whose hit and miss latencies both equal mem_latency is
+    // timing-equivalent to the flat-latency fetch: every access costs
+    // the same no matter what the tags say. The whole simulation —
+    // per-ray hits AND every timing counter — must agree bit-for-bit,
+    // which is the regression guard that the MemoryModel refactor did
+    // not perturb the original RT-unit schedule.
+    Bvh4 bvh = testScene();
+    std::vector<Ray> rays = testRays(bvh, 48);
+
+    sim::EngineConfig fixed;
+    fixed.threads = 1;
+    fixed.batch_size = 64;
+    fixed.rt.mem_latency = 20;
+    sim::EngineReport ref = sim::Engine(fixed).run(bvh, rays);
+
+    sim::EngineConfig cached = fixed;
+    cached.rt.mem_backend = MemBackend::NodeCache;
+    cached.rt.cache.hit_latency = 20;
+    cached.rt.cache.miss_latency = 20;
+    sim::EngineReport rep = sim::Engine(cached).run(bvh, rays);
+
+    for (size_t i = 0; i < rays.size(); ++i)
+        ASSERT_TRUE(bitIdentical(rep.hits[i], ref.hits[i])) << i;
+    EXPECT_EQ(timingOnly(rep.unit), timingOnly(ref.unit));
+    // The cached run actually exercised the cache.
+    EXPECT_GT(rep.unit.mem.hits + rep.unit.mem.misses, 0u);
+}
+
+TEST(NodeCache, HitsMissesAndLruEviction)
+{
+    // One set, two ways, 64-byte lines: the smallest cache where LRU
+    // order is observable.
+    NodeCacheConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.sets = 1;
+    cfg.ways = 2;
+    cfg.hit_latency = 2;
+    cfg.miss_latency = 20;
+    NodeCache cache(cfg);
+
+    EXPECT_EQ(cache.access(0, 4), 20u);   // line 0: compulsory miss
+    EXPECT_EQ(cache.access(64, 4), 20u);  // line 1: compulsory miss
+    EXPECT_EQ(cache.access(0, 4), 2u);    // line 0: hit
+    EXPECT_EQ(cache.stats(), (CacheStats{1, 2, 0}));
+
+    // Line 2 fills the only set; the LRU victim is line 1 (line 0 was
+    // touched more recently).
+    EXPECT_EQ(cache.access(128, 4), 20u);
+    EXPECT_EQ(cache.stats(), (CacheStats{1, 3, 1}));
+    EXPECT_EQ(cache.access(0, 4), 2u);    // line 0 survived
+    EXPECT_EQ(cache.access(64, 4), 20u);  // line 1 was the victim
+    EXPECT_EQ(cache.stats(), (CacheStats{2, 4, 2}));
+
+    // reset() drops contents and counters: line 0 misses again.
+    cache.reset();
+    EXPECT_EQ(cache.stats(), CacheStats{});
+    EXPECT_EQ(cache.access(0, 4), 20u);
+}
+
+TEST(NodeCache, AccessSpanningLinesTouchesEachLine)
+{
+    NodeCacheConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.sets = 4;
+    cfg.ways = 2;
+    NodeCache cache(cfg);
+
+    // [60, 68) straddles lines 0 and 1: two compulsory misses, one
+    // miss-latency access.
+    EXPECT_EQ(cache.access(60, 8), cfg.miss_latency);
+    EXPECT_EQ(cache.stats(), (CacheStats{0, 2, 0}));
+
+    // Re-reading the same span hits both lines.
+    EXPECT_EQ(cache.access(60, 8), cfg.hit_latency);
+    EXPECT_EQ(cache.stats(), (CacheStats{2, 2, 0}));
+
+    // A span with one resident and one new line still pays the miss
+    // latency (any touched-line miss dominates).
+    EXPECT_EQ(cache.access(64, 128), cfg.miss_latency);
+    EXPECT_EQ(cache.stats(), (CacheStats{3, 3, 0}));
+}
+
+TEST(NodeCache, ZeroCapacityDegeneratesToAlwaysMiss)
+{
+    for (int degenerate = 0; degenerate < 3; ++degenerate) {
+        NodeCacheConfig cfg;
+        cfg.hit_latency = 1;
+        cfg.miss_latency = 17;
+        if (degenerate == 0)
+            cfg.sets = 0;
+        else if (degenerate == 1)
+            cfg.ways = 0;
+        else
+            cfg.line_bytes = 0;
+        ASSERT_EQ(cfg.capacityBytes(), 0u);
+        NodeCache cache(cfg);
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(cache.access(uint64_t(i) * 64, 64), 17u)
+                << "degenerate dim " << degenerate;
+        // Nothing can be resident, so nothing is ever evicted.
+        EXPECT_EQ(cache.stats().hits, 0u);
+        EXPECT_EQ(cache.stats().evictions, 0u);
+        EXPECT_GE(cache.stats().misses, 8u);
+    }
+
+    // Zero-byte requests still touch one line.
+    NodeCache cache(NodeCacheConfig{});
+    EXPECT_EQ(cache.access(0, 0), NodeCacheConfig{}.miss_latency);
+    EXPECT_EQ(cache.access(0, 0), NodeCacheConfig{}.hit_latency);
+}
+
+TEST(NodeCache, EngineDeterministicAcrossWorkerCounts)
+{
+    // The cached backend inherits the engine's determinism contract:
+    // per-ray hits and the merged statistics — including the cache
+    // counters — are bit-identical at 1, 2 and 8 workers, because each
+    // batch warms a private cold cache and CacheStats merge with
+    // commutative sums.
+    Bvh4 bvh = testScene();
+    std::vector<Ray> rays = testRays(bvh, 64);
+
+    sim::EngineConfig cfg;
+    cfg.batch_size = 48; // several batches, last one short
+    cfg.rt.mem_backend = MemBackend::NodeCache;
+    cfg.rt.cache.sets = 16;
+    cfg.rt.cache.ways = 2;
+    cfg.threads = 1;
+    sim::EngineReport ref = sim::Engine(cfg).run(bvh, rays);
+    ASSERT_EQ(ref.unit.rays_completed, rays.size());
+    ASSERT_GT(ref.unit.mem.hits, 0u);
+    ASSERT_GT(ref.unit.mem.misses, 0u);
+
+    for (unsigned threads : {2u, 8u}) {
+        cfg.threads = threads;
+        sim::EngineReport rep = sim::Engine(cfg).run(bvh, rays);
+        ASSERT_EQ(rep.hits.size(), ref.hits.size());
+        for (size_t i = 0; i < rays.size(); ++i)
+            ASSERT_TRUE(bitIdentical(rep.hits[i], ref.hits[i]))
+                << "ray " << i << " at " << threads << " threads";
+        EXPECT_EQ(rep.unit, ref.unit) << threads << " threads";
+        EXPECT_EQ(rep.unit.mem, ref.unit.mem) << threads << " threads";
+    }
+}
+
+TEST(NodeCache, CachedHitsMatchFixedLatencyHits)
+{
+    // Memory timing must never change intersection results: the cached
+    // and flat-latency runs resolve identical hit records even though
+    // their cycle counts differ.
+    Bvh4 bvh = testScene();
+    std::vector<Ray> rays = testRays(bvh, 32);
+
+    sim::EngineConfig fixed;
+    fixed.threads = 2;
+    fixed.batch_size = 64;
+    sim::EngineReport ref = sim::Engine(fixed).run(bvh, rays);
+
+    sim::EngineConfig cached = fixed;
+    cached.rt.mem_backend = MemBackend::NodeCache;
+    cached.rt.cache.hit_latency = 1;
+    cached.rt.cache.miss_latency = fixed.rt.mem_latency;
+    sim::EngineReport rep = sim::Engine(cached).run(bvh, rays);
+
+    for (size_t i = 0; i < rays.size(); ++i)
+        ASSERT_TRUE(bitIdentical(rep.hits[i], ref.hits[i])) << i;
+    // A miss costs exactly what the flat fetch did and a hit costs
+    // less, so the cached run finishes in fewer simulated cycles.
+    EXPECT_LT(rep.unit.cycles, ref.unit.cycles);
+}
+
+TEST(NodeCache, HitRateFallsAsSceneOutgrowsCache)
+{
+    // The acceptance sweep: a fixed 4 KiB cache against terrain BVHs of
+    // growing triangle count. Once the node working set exceeds the
+    // cache, the hit rate must fall monotonically with scene size —
+    // this is exactly the signal the flat-latency model could not
+    // produce (its stall_on_memory was scene-size-blind per fetch).
+    // Scene, camera and engine setup mirror BM_NodeCacheSceneSweep in
+    // bench/bench_sim_engine.cc so this test pins the same workload
+    // that benchmark reports; retune them together.
+    const NodeCacheConfig cache = kProbeCache4KiB;
+
+    double prev_rate = 1.1;
+    uint64_t first_cycles = 0, last_cycles = 0;
+    for (unsigned res : {8u, 16u, 32u, 64u}) {
+        Bvh4 bvh = buildBvh4(makeTerrain(20.0f, res, 0.5f, 11));
+        Camera cam;
+        cam.look_at = bvh.root_bounds.centre();
+        cam.eye = {6.0f, 10.0f, 18.0f};
+        cam.width = 16;
+        cam.height = 16;
+        std::vector<Ray> rays;
+        for (unsigned y = 0; y < cam.height; ++y)
+            for (unsigned x = 0; x < cam.width; ++x)
+                rays.push_back(cam.primaryRay(x, y, 1000.0f));
+
+        sim::EngineConfig cfg;
+        cfg.threads = 1;
+        cfg.batch_size = 0; // one batch: a single cache serves the sweep
+        cfg.rt.mem_backend = MemBackend::NodeCache;
+        cfg.rt.cache = cache;
+        sim::EngineReport rep = sim::Engine(cfg).run(bvh, rays);
+
+        const double rate = rep.unit.mem.hitRate();
+        EXPECT_LT(rate, prev_rate)
+            << "hit rate did not fall at terrain res " << res;
+        prev_rate = rate;
+
+        if (first_cycles == 0)
+            first_cycles = rep.unit.cycles;
+        last_cycles = rep.unit.cycles;
+    }
+    // The largest scene genuinely outgrew the cache, and the extra
+    // misses are visible in the timing: the same camera batch costs
+    // more cycles against the big BVH than the small one (the signal
+    // the flat-latency model could not produce).
+    EXPECT_LT(prev_rate, 0.9);
+    EXPECT_GT(last_cycles, first_cycles);
+}
