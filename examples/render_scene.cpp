@@ -14,7 +14,7 @@
  * image is bit-identical for every value of [threads].
  *
  * Usage: render_scene [width] [height] [scene] [out.ppm] [threads] [ao]
- *                     [cache]
+ *                     [cache] [packet]
  *   scene: sphere | torus | terrain | mixed (default mixed)
  *   threads: engine workers, 0 = all cores (default 0)
  *   ao: ambient-occlusion rays per hit pixel (default 0 = off)
@@ -22,6 +22,12 @@
  *          cycle-accurate engine twice - flat-latency memory vs a 4 KiB
  *          node cache - and report hit-rate, stalls and cycles/ray
  *          (default 0 = off; the image is unaffected)
+ *   packet: W > 1 = after rendering, re-trace the primary batch
+ *          cycle-accurately under the 4 KiB node cache twice - scalar
+ *          vs W-wide ray packets (bvh/packet.hh) - and report
+ *          occupancy, fetch sharing and memory requests per ray
+ *          (default 0 = off; hits and image are unaffected - packets
+ *          change timing and memory traffic, never hits)
  */
 #include <cstdio>
 #include <cstring>
@@ -71,6 +77,14 @@ main(int argc, char **argv)
     unsigned threads = argc > 5 ? unsigned(atoi(argv[5])) : 0;
     unsigned ao_samples = argc > 6 ? unsigned(atoi(argv[6])) : 0;
     bool cache_probe = argc > 7 && atoi(argv[7]) != 0;
+    unsigned packet_probe = argc > 8 ? unsigned(atoi(argv[8])) : 0;
+    if (packet_probe > kMaxPacketWidth) {
+        // The RT unit clamps internally; clamp here too so the probe
+        // labels match the width that actually simulates.
+        printf("packet probe: width %u clamped to %u\n", packet_probe,
+               kMaxPacketWidth);
+        packet_probe = kMaxPacketWidth;
+    }
 
     auto tris = buildScene(scene_name);
     Bvh4 bvh = buildBvh4(tris);
@@ -165,21 +179,27 @@ main(int argc, char **argv)
            double(st.tri_ops) / double(rays),
            1455.0 / (double(st.box_ops + st.tri_ops) / double(rays)));
 
+    // Both probes re-trace the primary batch cycle-accurately; the
+    // scalar run under the 4 KiB node cache is shared between them
+    // (it is the "cached" row of the memory probe AND the scalar
+    // baseline of the packet probe). Same rays, same hits - only the
+    // fetch timing and memory traffic move.
+    std::vector<Ray> primary;
+    sim::EngineConfig ccfg;
+    ccfg.threads = threads;
+    ccfg.batch_size = 2048;
+    ccfg.model = sim::ExecutionModel::CycleAccurate;
+    sim::EngineConfig ncfg = ccfg;
+    ncfg.rt.mem_backend = MemBackend::NodeCache;
+    ncfg.rt.cache = kProbeCache4KiB;
+    sim::EngineReport cached;
+    if (cache_probe || packet_probe > 1) {
+        primary = RayGen::primaryRays(pcfg.camera, pcfg.t_max);
+        cached = sim::Engine(ncfg).run(bvh, primary);
+    }
+
     if (cache_probe) {
-        // Re-trace the primary batch cycle-accurately under both memory
-        // backends. Same rays, same hits - only the fetch timing moves,
-        // which is exactly what the pluggable MemoryModel isolates.
-        std::vector<Ray> primary =
-            RayGen::primaryRays(pcfg.camera, pcfg.t_max);
-        sim::EngineConfig ccfg;
-        ccfg.threads = threads;
-        ccfg.batch_size = 2048;
-        ccfg.model = sim::ExecutionModel::CycleAccurate;
         sim::EngineReport flat =
-            sim::Engine(ccfg).run(bvh, primary);
-        ccfg.rt.mem_backend = MemBackend::NodeCache;
-        ccfg.rt.cache = kProbeCache4KiB;
-        sim::EngineReport cached =
             sim::Engine(ccfg).run(bvh, primary);
         printf("memory probe (primary batch, cycle-accurate):\n");
         printf("  flat %u-cycle fetch: %.2f cycles/ray, %llu memory "
@@ -196,6 +216,39 @@ main(int argc, char **argv)
                (unsigned long long)cached.unit.mem.hits,
                (unsigned long long)cached.unit.mem.misses,
                (unsigned long long)cached.unit.mem.evictions);
+    }
+
+    if (packet_probe > 1) {
+        // Scalar (the shared `cached` report above) vs W-wide packets,
+        // both against the 4 KiB node cache and at equal
+        // wavefront-slot count (one W-wide packet slot stands in for W
+        // scalar entries). Same rays, same hits - packets move only
+        // the timing and the memory traffic.
+        sim::EngineConfig pprobe = ncfg;
+        pprobe.rt.packet.width = packet_probe;
+        pprobe.rt.ray_buffer_entries *= packet_probe;
+        sim::EngineReport packet =
+            sim::Engine(pprobe).run(bvh, primary);
+
+        const double n = double(primary.size());
+        const PacketStats &ps = packet.unit.packet;
+        printf("packet probe (primary batch, cycle-accurate, 4 KiB "
+               "node cache):\n");
+        printf("  scalar:          %.2f cycles/ray, %.2f memory "
+               "requests/ray\n",
+               double(cached.unit.cycles) / n,
+               double(cached.unit.mem_requests) / n);
+        printf("  %2u-wide packets: %.2f cycles/ray, %.2f memory "
+               "requests/ray (%.2f fetches/ray shared)\n",
+               packet_probe, double(packet.unit.cycles) / n,
+               double(packet.unit.mem_requests) / n,
+               double(ps.fetches_shared) / n);
+        printf("  %llu packets, avg occupancy %.2f/%u per node visit "
+               "(%.2f at retirement), %llu divergence splits\n",
+               (unsigned long long)ps.packets_formed,
+               ps.avgOccupancy(), packet_probe,
+               ps.avgOccupancyAtRetire(),
+               (unsigned long long)ps.divergence_splits);
     }
     return 0;
 }

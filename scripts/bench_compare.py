@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+Used by CI to track the simulation-engine trajectory across commits:
+the current BENCH_sim_engine.json is diffed against the artifact of the
+previous successful run on main, and the build fails when a tracked
+counter regresses by more than the threshold.
+
+The tracked counter defaults to ``cycles_per_ray``, which the RT-unit
+benchmarks (BM_NodeCacheSceneSweep, BM_PacketCoherenceSweep) report
+from SIMULATED cycles. Simulated counters are bit-deterministic — they
+do not wobble with runner load the way wall-clock does — so a small
+threshold compares real model changes, not noise. Benchmarks missing
+the counter in either file are skipped (wall-clock-only benchmarks are
+not gated).
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json
+                     [--counter cycles_per_ray] [--threshold 0.20]
+
+Exit status: 0 when no tracked counter regressed (or nothing was
+comparable), 1 on regression, 2 on unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_counters(path, counter):
+    """Map benchmark name -> counter value for runs that report it."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) would double-count.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        value = bench.get(counter)
+        if name is not None and isinstance(value, (int, float)):
+            out[name] = float(value)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="previous run's benchmark JSON")
+    ap.add_argument("current", help="this run's benchmark JSON")
+    ap.add_argument("--counter", default="cycles_per_ray",
+                    help="benchmark counter to gate on "
+                         "(default: %(default)s)")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="fail when current > baseline * (1 + T) "
+                         "(default: %(default)s)")
+    args = ap.parse_args()
+
+    base = load_counters(args.baseline, args.counter)
+    cur = load_counters(args.current, args.counter)
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print(f"bench_compare: no benchmark reports '{args.counter}' "
+              "in both files; nothing to gate")
+        return 0
+
+    width = max(len(n) for n in common)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {args.counter}: baseline -> "
+          f"current (ratio)")
+    for name in common:
+        b, c = base[name], cur[name]
+        ratio = c / b if b > 0 else float("inf") if c > 0 else 1.0
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, b, c, ratio))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {b:.4g} -> {c:.4g} "
+              f"({ratio:.3f}x){flag}")
+
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} benchmark(s) "
+              f"regressed '{args.counter}' by more than "
+              f"{100 * args.threshold:.0f}%:", file=sys.stderr)
+        for name, b, c, ratio in regressions:
+            print(f"  {name}: {b:.4g} -> {c:.4g} ({ratio:.3f}x)",
+                  file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: OK — {len(common)} benchmark(s) within "
+          f"{100 * args.threshold:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

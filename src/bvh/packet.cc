@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Packet traversal implementation.
+ *
+ * Lifecycle of one work item, packet-wide: popNext() pops the shared
+ * stack, applying the scalar pruning rule per lane (a lane whose best
+ * hit already beats the item's entry distance is masked off, not the
+ * whole item); the unit fetches the node or leaf once for the surviving
+ * mask; fetchArrived() expands the item into datapath beats (one
+ * ray-box beat per active lane, or one ray-triangle beat per
+ * (triangle, active lane) pair, triangle-major so each lane sees the
+ * leaf in leaf order); handleResult() folds results back in issue
+ * order; completeItem() merges per-lane box results into child items
+ * (mask = lanes whose slab test hit the child, pushed farthest-first
+ * by minimum entry distance) and retires lanes whose pending work
+ * dropped to zero.
+ *
+ * All decisions are pure functions of the admitted rays and the BVH:
+ * no clocks, no host pointers, no randomness — the packet inherits the
+ * engine's determinism contract unchanged.
+ */
+#include "bvh/packet.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+
+namespace rayflex::bvh
+{
+
+using namespace rayflex::core;
+using fp::fromBits;
+
+PacketTraversal::PacketTraversal(const Bvh4 &bvh, unsigned width,
+                                 Mode mode, PacketStats *stats)
+    : bvh_(bvh), width_(width), mode_(mode), stats_(stats)
+{
+    assert(width_ >= 1 && width_ <= kMaxPacketWidth);
+}
+
+unsigned
+PacketTraversal::admit(std::deque<std::pair<core::Ray, uint32_t>> &queue)
+{
+    assert(state_ == State::Idle);
+    n_lanes_ = 0;
+    while (n_lanes_ < width_ && !queue.empty()) {
+        auto [ray, id] = queue.front();
+        queue.pop_front();
+        Lane &ln = lanes_[n_lanes_];
+        ln = Lane{};
+        ln.ray = ray;
+        ln.ray_id = id;
+        ln.t_beg = fromBits(ray.t_beg);
+        ln.t_max = fromBits(ray.t_end);
+        ++n_lanes_;
+    }
+    if (n_lanes_ == 0)
+        return 0;
+
+    if (bvh_.tris.empty()) {
+        // Nothing to traverse: every lane completes with a miss, the
+        // packet never forms (mirrors the scalar empty-scene refill).
+        for (unsigned r = 0; r < n_lanes_; ++r)
+            completed_.emplace_back(lanes_[r].ray_id, HitRecord{});
+        unsigned admitted = n_lanes_;
+        n_lanes_ = 0;
+        return admitted;
+    }
+
+    ++stats_->packets_formed;
+    Item root;
+    root.is_leaf = false;
+    root.index = 0;
+    root.mask = (1u << n_lanes_) - 1u; // n_lanes_ <= kMaxPacketWidth
+    for (unsigned r = 0; r < n_lanes_; ++r) {
+        root.entry[r] = 0.0f;
+        lanes_[r].pending = 1;
+    }
+    stack_.clear();
+    stack_.push_back(root);
+    popNext();
+    return n_lanes_;
+}
+
+void
+PacketTraversal::retireLane(unsigned lane, const HitRecord &rec)
+{
+    unsigned occupancy = 0;
+    for (unsigned r = 0; r < n_lanes_; ++r)
+        if (!lanes_[r].retired)
+            ++occupancy; // includes `lane` (not yet marked)
+    stats_->occupancy_at_retire += occupancy;
+    ++stats_->rays_retired;
+    lanes_[lane].retired = true;
+    completed_.emplace_back(lanes_[lane].ray_id, rec);
+}
+
+void
+PacketTraversal::dropLaneFromItem(unsigned lane)
+{
+    Lane &ln = lanes_[lane];
+    --ln.pending;
+    if (ln.pending == 0 && !ln.retired)
+        retireLane(lane, ln.best);
+}
+
+void
+PacketTraversal::popNext()
+{
+    for (;;) {
+        if (stack_.empty()) {
+            // Every lane's pending work is gone, so every lane retired
+            // through dropLaneFromItem/completeItem on the way here.
+            state_ = State::Idle;
+            n_lanes_ = 0;
+            return;
+        }
+        Item it = stack_.back();
+        stack_.pop_back();
+        uint32_t live = 0;
+        for (unsigned r = 0; r < n_lanes_; ++r) {
+            if (!(it.mask & (1u << r)))
+                continue;
+            Lane &ln = lanes_[r];
+            // The scalar pruning rule, applied per lane: a retired or
+            // pruned lane leaves the item; the item survives for the
+            // rest.
+            if (ln.retired || (ln.best.hit && it.entry[r] > ln.best.t))
+                dropLaneFromItem(r);
+            else
+                live |= 1u << r;
+        }
+        if (live == 0)
+            continue; // pruned packet-wide: no fetch, no beats
+        cur_ = it;
+        live_ = live;
+        state_ = State::NeedFetch;
+        return;
+    }
+}
+
+void
+PacketTraversal::fetchIssued()
+{
+    assert(state_ == State::NeedFetch);
+    state_ = State::Fetching;
+    const unsigned active = unsigned(std::popcount(live_));
+    ++stats_->node_visits;
+    stats_->active_ray_visits += active;
+    stats_->fetches_shared += active - 1; // fetches scalar would issue
+}
+
+void
+PacketTraversal::fetchArrived()
+{
+    assert(state_ == State::Fetching);
+    state_ = State::Issue;
+    pending_.clear();
+    if (cur_.is_leaf) {
+        // Triangle-major: each lane sees the leaf's triangles in leaf
+        // order, exactly as the scalar entry does.
+        for (uint32_t t = cur_.index; t < cur_.index + cur_.count; ++t)
+            for (unsigned r = 0; r < n_lanes_; ++r)
+                if (live_ & (1u << r))
+                    pending_.push_back({uint8_t(r), t});
+    } else {
+        for (unsigned r = 0; r < n_lanes_; ++r)
+            if (live_ & (1u << r))
+                pending_.push_back({uint8_t(r), 0});
+    }
+}
+
+void
+PacketTraversal::skipDeadBeats()
+{
+    // Beats for lanes retired mid-leaf (any-hit) are never issued.
+    while (!pending_.empty() &&
+           lanes_[pending_.front().lane].retired)
+        pending_.pop_front();
+}
+
+bool
+PacketTraversal::hasBeat()
+{
+    if (state_ != State::Issue)
+        return false;
+    skipDeadBeats();
+    return !pending_.empty();
+}
+
+core::DatapathInput
+PacketTraversal::makeBeat(uint64_t tag) const
+{
+    const Beat &b = pending_.front();
+    DatapathInput in;
+    in.tag = tag;
+    in.ray = lanes_[b.lane].ray;
+    if (cur_.is_leaf) {
+        in.op = Opcode::RayTriangle;
+        in.tri = bvh_.tris[b.tri].toIoTriangle();
+    } else {
+        in.op = Opcode::RayBox;
+        const WideNode &node = bvh_.nodes[cur_.index];
+        for (int c = 0; c < 4; ++c) {
+            in.boxes[c] = node.child[c].kind == WideNode::Kind::Empty
+                              ? emptySlotBox()
+                              : node.child[c].bounds.toIoBox();
+        }
+    }
+    return in;
+}
+
+void
+PacketTraversal::beatAccepted()
+{
+    inflight_.push_back(pending_.front());
+    pending_.pop_front();
+}
+
+void
+PacketTraversal::handleResult(const core::DatapathOutput &out)
+{
+    assert(!inflight_.empty());
+    const Beat b = inflight_.front();
+    inflight_.pop_front();
+    Lane &ln = lanes_[b.lane];
+
+    if (out.op == Opcode::RayBox) {
+        box_res_[b.lane] = out.box;
+    } else if (!ln.retired) { // drop results for lanes dead mid-leaf
+        const SceneTriangle &tri = bvh_.tris[b.tri];
+        if (out.tri.hit) {
+            float den = fromBits(out.tri.t_den);
+            if (den != 0.0f) {
+                float t = fromBits(out.tri.t_num) / den;
+                if (t >= ln.t_beg && t <= ln.t_max &&
+                    (!ln.best.hit || t < ln.best.t)) {
+                    if (mode_ == Mode::Any) {
+                        // First in-extent hit retires the lane; the
+                        // record carries only the flag (the any-hit
+                        // contract).
+                        HitRecord occluded;
+                        occluded.hit = true;
+                        retireLane(b.lane, occluded);
+                    } else {
+                        ln.best.hit = true;
+                        ln.best.t = t;
+                        ln.best.triangle_id = tri.id;
+                        float u = fromBits(out.tri.uvw[0]);
+                        float v = fromBits(out.tri.uvw[1]);
+                        float w = fromBits(out.tri.uvw[2]);
+                        ln.best.u = u / den;
+                        ln.best.v = v / den;
+                        ln.best.w = w / den;
+                    }
+                }
+            }
+        }
+    }
+
+    skipDeadBeats();
+    if (pending_.empty() && inflight_.empty())
+        completeItem();
+}
+
+void
+PacketTraversal::completeItem()
+{
+    if (!cur_.is_leaf)
+        mergeBoxResults();
+    // The item is done for every lane that was testing it; lanes left
+    // with no pending work retire out of the packet independently.
+    for (unsigned r = 0; r < n_lanes_; ++r)
+        if (live_ & (1u << r))
+            dropLaneFromItem(r);
+    popNext();
+}
+
+void
+PacketTraversal::mergeBoxResults()
+{
+    const WideNode &node = bvh_.nodes[cur_.index];
+
+    // Invert each lane's sorted result into a slot-indexed entry table.
+    std::array<std::array<float, 4>, kMaxPacketWidth> entry{};
+    for (unsigned r = 0; r < n_lanes_; ++r) {
+        if (!(live_ & (1u << r)))
+            continue;
+        const BoxResult &br = box_res_[r];
+        for (int i = 0; i < 4; ++i)
+            entry[r][br.order[i]] = fromBits(br.sorted_dist[i]);
+    }
+
+    // One candidate child item per slot some lane hit.
+    struct Cand
+    {
+        Item item;
+        float key; ///< nearest entry distance over member lanes
+        int slot;
+    };
+    std::array<Cand, 4> cands;
+    int n_cands = 0;
+    bool split = false;
+    for (int slot = 0; slot < 4; ++slot) {
+        const WideNode::Child &c = node.child[slot];
+        if (c.kind == WideNode::Kind::Empty)
+            continue;
+        uint32_t mask = 0;
+        float key = std::numeric_limits<float>::infinity();
+        Item it;
+        for (unsigned r = 0; r < n_lanes_; ++r) {
+            if (!(live_ & (1u << r)) || !box_res_[r].hit[slot])
+                continue;
+            mask |= 1u << r;
+            it.entry[r] = entry[r][slot];
+            key = std::min(key, entry[r][slot]);
+        }
+        if (mask == 0)
+            continue;
+        if (mask != live_)
+            split = true; // the children partition the packet
+        it.mask = mask;
+        if (c.kind == WideNode::Kind::Internal) {
+            it.is_leaf = false;
+            it.index = c.index;
+        } else {
+            it.is_leaf = true;
+            it.index = c.index;
+            it.count = c.count;
+        }
+        cands[size_t(n_cands++)] = {it, key, slot};
+    }
+    if (split)
+        ++stats_->divergence_splits;
+
+    // Push farthest-first so the packet-nearest child pops first;
+    // slot index breaks exact-distance ties deterministically.
+    std::sort(cands.begin(), cands.begin() + n_cands,
+              [](const Cand &a, const Cand &b) {
+                  return a.key != b.key ? a.key < b.key
+                                        : a.slot < b.slot;
+              });
+    for (int i = n_cands - 1; i >= 0; --i) {
+        stack_.push_back(cands[size_t(i)].item);
+        for (unsigned r = 0; r < n_lanes_; ++r)
+            if (cands[size_t(i)].item.mask & (1u << r))
+                ++lanes_[r].pending;
+    }
+}
+
+} // namespace rayflex::bvh

@@ -9,6 +9,13 @@
  * through the ordinary valid-ready handshake, so the unit observes real
  * pipeline back-pressure.
  *
+ * The same four-step loop drives both schedulers: the scalar mode
+ * iterates per-ray Entry slots, the packet mode (packet.width > 1,
+ * bvh/packet.hh) iterates PacketTraversal slots — a packet in NeedFetch
+ * issues ONE fetch for its whole active mask, and a packet with fetched
+ * data issues one beat per active lane back-to-back. The scalar path is
+ * bit-for-bit the pre-packet unit; no packet code runs at width 1.
+ *
  * Fetch latency comes from the configured MemoryModel. The address map
  * is synthetic but stable: node i occupies
  * [i * kNodeStrideBytes, (i+1) * kNodeStrideBytes) and the triangle
@@ -19,6 +26,7 @@
  */
 #include "bvh/rt_unit.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rayflex::bvh
@@ -28,24 +36,58 @@ using namespace rayflex::core;
 using fp::fromBits;
 
 RtUnit::RtUnit(const Bvh4 &bvh, core::RayFlexDatapath &dp,
-               const RtUnitConfig &cfg)
+               const RtUnitConfig &cfg, MemoryModel *shared_mem)
     : pipeline::Component("rt-unit"), bvh_(bvh), dp_(dp), cfg_(cfg),
-      mem_(makeMemoryModel(cfg.mem_backend, cfg.mem_latency, cfg.cache)),
-      tri_base_(uint64_t(bvh.nodes.size()) * kNodeStrideBytes),
-      entries_(cfg.ray_buffer_entries)
-{}
+      tri_base_(uint64_t(bvh.nodes.size()) * kNodeStrideBytes)
+{
+    cfg_.packet.width =
+        std::clamp(cfg_.packet.width, 1u, kMaxPacketWidth);
+    if (shared_mem) {
+        mem_ = shared_mem;
+        mem_is_shared_ = true;
+    } else {
+        owned_mem_ = makeMemoryModel(cfg_.mem_backend, cfg_.mem_latency,
+                                     cfg_.cache);
+        mem_ = owned_mem_.get();
+    }
+    if (packetized()) {
+        // The ray buffer holds the same number of rays either way; a
+        // packet slot stands in for `width` scalar entries.
+        const unsigned slots = std::max(
+            1u, cfg_.ray_buffer_entries / cfg_.packet.width);
+        const auto mode = cfg_.mode == TraversalMode::Any
+                              ? PacketTraversal::Mode::Any
+                              : PacketTraversal::Mode::Closest;
+        packets_.reserve(slots);
+        for (unsigned i = 0; i < slots; ++i)
+            packets_.emplace_back(bvh_, cfg_.packet.width, mode,
+                                  &stats_.packet);
+    } else {
+        entries_.resize(cfg_.ray_buffer_entries);
+    }
+}
 
-/** Latency of the fetch an entry in NeedFetch is about to issue: the
- *  whole leaf for leaf work, one wide node otherwise. */
+/** Latency of one fetch in the synthetic address map: the whole leaf
+ *  for leaf work, one wide node otherwise. Both schedulers go through
+ *  here, so scalar and packet mode can never diverge on addresses. */
+unsigned
+RtUnit::accessLatency(bool is_leaf, uint32_t index, uint32_t count)
+{
+    if (is_leaf)
+        return mem_->access(tri_base_ +
+                                uint64_t(index) * kTriStrideBytes,
+                            count * kTriStrideBytes);
+    return mem_->access(uint64_t(index) * kNodeStrideBytes,
+                        kNodeStrideBytes);
+}
+
+/** Latency of the fetch an entry in NeedFetch is about to issue. */
 unsigned
 RtUnit::fetchLatency(const Entry &e)
 {
-    if (e.leaf_count > 0)
-        return mem_->access(tri_base_ +
-                                uint64_t(e.leaf_first) * kTriStrideBytes,
-                            e.leaf_count * kTriStrideBytes);
-    return mem_->access(uint64_t(e.node) * kNodeStrideBytes,
-                        kNodeStrideBytes);
+    return e.leaf_count > 0
+               ? accessLatency(true, e.leaf_first, e.leaf_count)
+               : accessLatency(false, e.node, 0);
 }
 
 void
@@ -93,15 +135,58 @@ RtUnit::finishRay(Entry &e, const HitRecord &rec)
     ++stats_.rays_completed;
 }
 
+/** Latency of the fetch a packet in NeedFetch is about to issue (one
+ *  fetch serves the packet's whole active mask — that IS the sharing). */
+unsigned
+RtUnit::packetFetchLatency(const PacketTraversal &p)
+{
+    return accessLatency(p.fetchIsLeaf(), p.fetchIndex(),
+                         p.fetchCount());
+}
+
+/** Move a packet's retired rays into the unit's results. */
+void
+RtUnit::drainCompleted(PacketTraversal &p)
+{
+    for (const auto &[id, rec] : p.completed()) {
+        results_[id] = rec;
+        --outstanding_;
+        ++stats_.rays_completed;
+    }
+    p.completed().clear();
+}
+
+/** Packet-mode publish: offer one beat from the first packet with
+ *  pending work (same first-ready policy as the scalar path). */
+void
+RtUnit::publishPacket()
+{
+    for (size_t i = 0; i < packets_.size(); ++i) {
+        if (packets_[i].hasBeat()) {
+            dp_.in().valid = true;
+            dp_.in().bits = packets_[i].makeBeat(i);
+            drove_input_ = true;
+            issue_entry_ = i;
+            return;
+        }
+    }
+    dp_.in().valid = false;
+}
+
 void
 RtUnit::publish(uint64_t)
 {
     // Always willing to drain results.
     dp_.out().ready = true;
 
+    drove_input_ = false;
+    if (packetized()) {
+        publishPacket();
+        return;
+    }
+
     // Offer one beat from the first ready entry (round-robin would be
     // fairer; first-ready is sufficient for utilization studies).
-    drove_input_ = false;
     for (size_t i = 0; i < entries_.size(); ++i) {
         Entry &e = entries_[i];
         if (e.state == EntryState::ReadyBox) {
@@ -204,11 +289,82 @@ RtUnit::handleResult(const core::DatapathOutput &out)
     }
 }
 
+/** Packet-mode advance: the same (a)–(d) steps over packet slots. */
+void
+RtUnit::advancePacket()
+{
+    // (a) Input handshake outcome.
+    if (drove_input_ && dp_.in().valid && dp_.in().ready) {
+        ++stats_.datapath_beats;
+        packets_[issue_entry_].beatAccepted();
+    } else {
+        ++stats_.datapath_idle;
+        bool waiting_mem = false;
+        for (const PacketTraversal &p : packets_) {
+            if (p.waitingOnMemory()) {
+                waiting_mem = true;
+                break;
+            }
+        }
+        if (waiting_mem)
+            ++stats_.stall_on_memory;
+    }
+
+    // (b) Output handshake outcome. A result can complete the packet's
+    // current item, push children and retire lanes whose work ran out.
+    if (dp_.out().valid && dp_.out().ready) {
+        const DatapathOutput &out = dp_.out().bits;
+        PacketTraversal &p = packets_[out.tag];
+        p.handleResult(out);
+        drainCompleted(p);
+    }
+
+    // (c) Memory: completion-ordered retirement, then issue — one
+    // fetch serves a packet's whole active mask.
+    for (auto it = mem_queue_.begin(); it != mem_queue_.end();) {
+        if (it->done_cycle <= now_) {
+            packets_[it->entry].fetchArrived();
+            it = mem_queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    unsigned issued = 0;
+    for (size_t i = 0;
+         i < packets_.size() && issued < cfg_.mem_requests_per_cycle;
+         ++i) {
+        PacketTraversal &p = packets_[i];
+        if (p.needsFetch()) {
+            mem_queue_.push_back({i, now_ + packetFetchLatency(p)});
+            p.fetchIssued();
+            ++stats_.mem_requests;
+            ++issued;
+        }
+    }
+
+    // (d) Refill idle packet slots with queued rays. Consecutive rays
+    // form one packet, so coherent submissions (camera batches) become
+    // coherent packets.
+    for (size_t i = 0; i < packets_.size() && !pending_rays_.empty();
+         ++i) {
+        PacketTraversal &p = packets_[i];
+        if (!p.idle())
+            continue;
+        p.admit(pending_rays_);
+        drainCompleted(p); // empty-scene rays complete at admission
+    }
+}
+
 void
 RtUnit::advance(uint64_t cycle)
 {
     now_ = cycle;
     ++stats_.cycles;
+
+    if (packetized()) {
+        advancePacket();
+        return;
+    }
 
     // (a) Input handshake outcome.
     if (drove_input_ && dp_.in().valid && dp_.in().ready) {
@@ -300,10 +456,14 @@ RtUnit::run(uint64_t max_cycles)
     dp_.registerWith(sim);
     sim.add(this);
     stats_ = {};
-    mem_->reset(); // cold cache per run: runs are reproducible
+    CacheStats mem_before;
+    if (mem_is_shared_)
+        mem_before = mem_->stats(); // warm: keep contents, report delta
+    else
+        mem_->reset(); // cold cache per run: runs are reproducible
     while (outstanding_ > 0 && stats_.cycles < max_cycles)
         sim.tick();
-    stats_.mem = mem_->stats();
+    stats_.mem = mem_->stats().deltaSince(mem_before);
     if (outstanding_ > 0)
         throw std::runtime_error("RtUnit::run: rays did not complete");
     return stats_;

@@ -11,9 +11,13 @@
  * (bvh/mem_model.hh) supplies BVH data — either the original flat
  * fixed-latency fetch or a set-associative node cache with hit/miss
  * latencies and per-run CacheStats — and a scheduler feeds ready rays
- * into the datapath one beat per cycle. This is the model used to
- * measure datapath utilization, memory sensitivity and rays/cycle on
- * real scenes.
+ * into the datapath one beat per cycle. Two scheduling modes exist:
+ * the scalar mode traces one independent ray per ray-buffer entry, and
+ * the packet/wavefront mode (RtUnitConfig::packet, bvh/packet.hh)
+ * groups coherent rays into packets that share a traversal stack and
+ * one BVH fetch per visited node. This is the model used to measure
+ * datapath utilization, memory sensitivity and rays/cycle on real
+ * scenes.
  */
 #ifndef RAYFLEX_BVH_RT_UNIT_HH
 #define RAYFLEX_BVH_RT_UNIT_HH
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "bvh/mem_model.hh"
+#include "bvh/packet.hh"
 #include "bvh/traversal.hh"
 #include "core/datapath.hh"
 #include "pipeline/component.hh"
@@ -54,6 +59,12 @@ struct RtUnitConfig
     MemBackend mem_backend = MemBackend::FixedLatency;
     /** Cache geometry and timing (MemBackend::NodeCache). */
     NodeCacheConfig cache;
+
+    /** Packet/wavefront traversal (bvh/packet.hh). width == 1 (the
+     *  default) keeps the scalar one-ray-per-entry scheduler
+     *  bit-for-bit; wider packets share one node fetch across the
+     *  member rays. Hit records are bit-identical either way. */
+    PacketConfig packet;
 };
 
 /** Per-run statistics. */
@@ -70,6 +81,10 @@ struct RtUnitStats
      *  Merges with the same commutative sums as the rest of the
      *  struct, so sharded aggregation stays order-independent. */
     CacheStats mem;
+
+    /** Packet-traversal counters; all-zero in scalar mode
+     *  (packet.width == 1). Same commutative-sum merge contract. */
+    PacketStats packet;
 
     /** Fraction of cycles the datapath accepted a beat. */
     double
@@ -92,6 +107,7 @@ struct RtUnitStats
         mem_requests += o.mem_requests;
         stall_on_memory += o.stall_on_memory;
         mem.merge(o.mem);
+        packet.merge(o.packet);
         return *this;
     }
 
@@ -106,8 +122,14 @@ struct RtUnitStats
 class RtUnit : public pipeline::Component
 {
   public:
+    /** @param shared_mem Optional non-owning MemoryModel override: the
+     *  unit uses it instead of constructing its own and does NOT reset
+     *  it at run() start, so a caller can carry cache contents across
+     *  units (the engine's warm-cache batch mode). CacheStats are
+     *  reported as the delta accumulated during the run. */
     RtUnit(const Bvh4 &bvh, core::RayFlexDatapath &dp,
-           const RtUnitConfig &cfg = {});
+           const RtUnitConfig &cfg = {},
+           MemoryModel *shared_mem = nullptr);
 
     /** Queue a ray for traversal; results appear in results(). */
     void submit(const core::Ray &ray, uint32_t ray_id);
@@ -165,15 +187,27 @@ class RtUnit : public pipeline::Component
     void popWork(Entry &e);
     void finishRay(Entry &e, const HitRecord &rec);
     void handleResult(const core::DatapathOutput &out);
+    unsigned accessLatency(bool is_leaf, uint32_t index,
+                           uint32_t count);
     unsigned fetchLatency(const Entry &e);
+
+    /** True when the packet/wavefront scheduler is active. */
+    bool packetized() const { return cfg_.packet.width > 1; }
+    unsigned packetFetchLatency(const PacketTraversal &p);
+    void drainCompleted(PacketTraversal &p);
+    void publishPacket();
+    void advancePacket();
 
     const Bvh4 &bvh_;
     core::RayFlexDatapath &dp_;
     RtUnitConfig cfg_;
-    std::unique_ptr<MemoryModel> mem_;
+    std::unique_ptr<MemoryModel> owned_mem_;
+    MemoryModel *mem_ = nullptr; ///< owned_mem_ or the shared override
+    bool mem_is_shared_ = false; ///< skip reset, report delta stats
     uint64_t tri_base_ = 0; ///< triangle region base address
 
-    std::vector<Entry> entries_;
+    std::vector<Entry> entries_;   ///< scalar mode (packet.width == 1)
+    std::vector<PacketTraversal> packets_; ///< packet mode
     std::deque<std::pair<core::Ray, uint32_t>> pending_rays_;
     std::deque<MemRequest> mem_queue_;
     std::vector<HitRecord> results_;

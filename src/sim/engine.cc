@@ -128,6 +128,15 @@ Engine::Engine(const EngineConfig &cfg) : cfg_(cfg)
 
 Engine::~Engine() = default;
 
+void
+Engine::resetWarmCaches() const
+{
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    for (const std::unique_ptr<bvh::MemoryModel> &m : warm_mems_)
+        if (m)
+            m->reset();
+}
+
 EngineReport
 Engine::run(const bvh::Bvh4 &bvh,
             const std::vector<core::Ray> &rays) const
@@ -159,6 +168,22 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
     rt_cfg.mode = any_hit ? bvh::TraversalMode::Any
                           : bvh::TraversalMode::Closest;
 
+    // Warm-cache mode: make sure every pool worker owns a persistent
+    // memory model before any worker needs it. See EngineConfig::
+    // warm_cache for the determinism tradeoff this opts into.
+    const bool warm =
+        cfg_.warm_cache && cfg_.model == ExecutionModel::CycleAccurate;
+    if (warm) {
+        std::lock_guard<std::mutex> lk(pool_mutex_);
+        if (warm_mems_.empty()) {
+            warm_mems_.resize(resolved_threads_);
+            for (auto &m : warm_mems_)
+                m = bvh::makeMemoryModel(cfg_.rt.mem_backend,
+                                         cfg_.rt.mem_latency,
+                                         cfg_.rt.cache);
+        }
+    }
+
     std::atomic<size_t> next_batch{0};
     std::vector<WorkerTally> tallies(threads);
     std::vector<std::exception_ptr> errors(threads);
@@ -173,7 +198,9 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
                 const core::BatchRange r = batches[bi];
                 if (cfg_.model == ExecutionModel::CycleAccurate) {
                     core::RayFlexDatapath dp(cfg_.dp);
-                    bvh::RtUnit unit(bvh, dp, rt_cfg);
+                    bvh::RtUnit unit(bvh, dp, rt_cfg,
+                                     warm ? warm_mems_[wid].get()
+                                          : nullptr);
                     for (size_t i = r.begin; i < r.end; ++i)
                         unit.submit(rays[i], uint32_t(i - r.begin));
                     tallies[wid].unit.merge(
@@ -200,7 +227,15 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
 
     const auto t0 = std::chrono::steady_clock::now();
     if (threads == 1) {
-        worker(0);
+        if (warm) {
+            // Warm runs share per-worker cache state, so even the
+            // inline single-worker path must serialize with any
+            // concurrent run() of this engine.
+            std::lock_guard<std::mutex> lk(pool_mutex_);
+            worker(0);
+        } else {
+            worker(0);
+        }
     } else {
         // Concurrent run() calls from different threads serialize here;
         // results are unaffected (work distribution is the atomic batch

@@ -87,6 +87,27 @@ struct EngineConfig
      *  `any_hit`. */
     bvh::RtUnitConfig rt;
 
+    /** Warm-cache batch mode (CycleAccurate model): each worker keeps
+     *  ONE persistent MemoryModel that serves every batch it claims,
+     *  across run() calls — so in a multi-pass scenario
+     *  (sim::renderPasses) the node cache warmed by the primary pass
+     *  serves the shadow/AO/bounce passes instead of every batch
+     *  starting cold.
+     *
+     *  Determinism implications (the reason this is opt-in): per-ray
+     *  HIT RECORDS remain bit-identical — memory timing never changes
+     *  intersection results. But the timing and cache counters now
+     *  depend on which worker ran which batch in what order, so they
+     *  are reproducible only at threads == 1 (a single worker claims
+     *  batches in submission order); at higher thread counts they
+     *  legitimately vary run to run. Cold mode (the default) keeps the
+     *  full bit-identical-at-every-worker-count contract.
+     *
+     *  No-op under the Functional model and stateless (FixedLatency)
+     *  backends. Warm state lives for the engine's lifetime; see
+     *  Engine::resetWarmCaches(). */
+    bool warm_cache = false;
+
     /** Per-worker datapath configuration (CycleAccurate model). */
     core::DatapathConfig dp = core::kBaselineUnified;
 
@@ -168,6 +189,11 @@ class Engine
 
     const EngineConfig &config() const { return cfg_; }
 
+    /** Drop all warm-cache contents and counters (EngineConfig::
+     *  warm_cache), returning every worker to a cold start. Safe to
+     *  call between runs; no-op when warm mode never ran. */
+    void resetWarmCaches() const;
+
   private:
     class Pool;
 
@@ -178,6 +204,11 @@ class Engine
      *  worker, then reused by every later run(). */
     mutable std::unique_ptr<Pool> pool_;
     mutable std::mutex pool_mutex_; ///< guards creation and dispatch
+
+    /** Warm-cache mode: one persistent MemoryModel per pool worker
+     *  (index = worker id), lazily created on the first warm run and
+     *  carried across batches, runs and passes. */
+    mutable std::vector<std::unique_ptr<bvh::MemoryModel>> warm_mems_;
 };
 
 } // namespace rayflex::sim
