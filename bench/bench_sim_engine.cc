@@ -12,7 +12,11 @@
  * distinguish across working-set sizes, and the packet-coherence
  * sweep: packet widths 1..16 on coherent primaries vs incoherent AO
  * fans, reporting the shared-fetch and occupancy numbers of the
- * wavefront scheduler (bvh/packet.hh). The thread-count sweep is the
+ * wavefront scheduler (bvh/packet.hh), and the issue-width sweep:
+ * rays/cycle per datapath issue width for scalar entries vs 8-wide
+ * packets under a bounded MSHR file, the evidence that fetch sharing
+ * turns into throughput once the datapath can spend it. The
+ * thread-count sweep is the
  * scaling evidence for the engine: per-ray results are bit-identical at
  * every point (tests/test_sim_engine.cc), so every column of this
  * benchmark computes the same answer.
@@ -389,4 +393,83 @@ BENCHMARK(BM_PacketCoherenceSweep)
     ->Args({16, 1})
     ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0})
     ->Args({16, 0})
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_IssueWidthSweep(benchmark::State &state)
+{
+    // The multi-issue acceptance sweep: issue_width 1 -> 8 against
+    // scalar entries and 8-wide packets, coherent primaries vs
+    // incoherent AO fans, all with the 4 KiB probe cache, a bounded
+    // 8-entry MSHR file, and occupancy compaction at half width on
+    // the divergent (incoherent) rows. The
+    // packet coherence sweep showed mem_requests/ray falling ~4x with
+    // the packet width while rays/cycle stayed flat — the single-beat
+    // datapath capped throughput near 1/(beats per ray), so the saved
+    // bandwidth could not be spent. Widening the issue datapath is
+    // what spends it: on coherent primaries, rays_per_kcycle must RISE
+    // monotonically with issue_width for the 8-wide packet rows (each
+    // shared fetch feeds up to issue_width member beats per cycle;
+    // tests/test_issue_width.cc pins the monotonicity), while the
+    // scalar rows plateau after issue 2 — and under this deliberately
+    // tight 8-entry MSHR file the packet rows sit ABOVE the scalar
+    // ones at every issue width, at roughly half the memory requests
+    // per ray: one shared fetch covers a whole active mask, so a
+    // bounded outstanding-request budget goes much further per packet
+    // than per scalar entry. (With a generous file — 16+ entries —
+    // scalar catches back up by merging duplicate fetches across
+    // slots; the bounded file is the regime this sweep reports.) Hits
+    // are bit-identical to scalar at every point.
+    const unsigned issue = unsigned(state.range(0));
+    const unsigned width = unsigned(state.range(1));
+    const bool coherent = state.range(2) != 0;
+    const Bvh4 &bvh = benchScene();
+    const std::vector<Ray> rays =
+        coherent ? benchRays(32) : aoFanRays(128, 8);
+
+    sim::EngineConfig cfg;
+    cfg.threads = 1;
+    cfg.batch_size = 0; // one batch: one L1 serves the whole sweep
+    cfg.rt.ray_buffer_entries = 32 * width; // iso-slot: 32 wavefronts
+    cfg.rt.mem_backend = MemBackend::NodeCache;
+    cfg.rt.cache = kProbeCache4KiB;
+    cfg.rt.packet.width = width;
+    cfg.rt.issue_width = issue;
+    cfg.rt.mshrs = 8;
+    // Compaction only where divergence motivates it: coherent
+    // primaries barely thin their packets, so the repacking window
+    // would add fetch-boundary latency for nothing there.
+    if (width > 1 && !coherent)
+        cfg.rt.packet.compact_below = width / 2;
+
+    sim::EngineReport rep;
+    for (auto _ : state) {
+        rep = sim::Engine(cfg).run(bvh, rays);
+        benchmark::DoNotOptimize(rep.unit.cycles);
+    }
+
+    const double n = double(rays.size());
+    state.counters["rays_per_kcycle"] =
+        1000.0 * n / double(rep.unit.cycles);
+    state.counters["cycles_per_ray"] = double(rep.unit.cycles) / n;
+    state.counters["mem_requests_per_ray"] =
+        double(rep.unit.mem_requests) / n;
+    state.counters["beats_per_cycle"] = rep.unit.utilization();
+    state.counters["mshr_merges_per_ray"] =
+        double(rep.unit.mshr.merges) / n;
+    state.counters["mshr_stalls_per_ray"] =
+        double(rep.unit.mshr.stalls_full) / n;
+    state.counters["avg_occupancy"] = rep.unit.packet.avgOccupancy();
+    state.counters["compactions"] =
+        double(rep.unit.packet.compactions);
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rays.size()));
+}
+BENCHMARK(BM_IssueWidthSweep)
+    ->ArgNames({"issue", "width", "coherent"})
+    ->Args({1, 8, 1})->Args({2, 8, 1})->Args({4, 8, 1})
+    ->Args({8, 8, 1})
+    ->Args({1, 1, 1})->Args({2, 1, 1})->Args({4, 1, 1})
+    ->Args({8, 1, 1})
+    ->Args({1, 8, 0})->Args({4, 8, 0})->Args({8, 8, 0})
     ->Unit(benchmark::kMillisecond);

@@ -14,7 +14,7 @@
  * image is bit-identical for every value of [threads].
  *
  * Usage: render_scene [width] [height] [scene] [out.ppm] [threads] [ao]
- *                     [cache] [packet]
+ *                     [cache] [packet] [issue]
  *   scene: sphere | torus | terrain | mixed (default mixed)
  *   threads: engine workers, 0 = all cores (default 0)
  *   ao: ambient-occlusion rays per hit pixel (default 0 = off)
@@ -28,6 +28,14 @@
  *          occupancy, fetch sharing and memory requests per ray
  *          (default 0 = off; hits and image are unaffected - packets
  *          change timing and memory traffic, never hits)
+ *   issue: N > 1 = after rendering, re-trace the primary batch
+ *          cycle-accurately under the 4 KiB node cache and an 8-entry
+ *          MSHR file at issue widths 1 and N (RtUnitConfig::
+ *          issue_width), scalar and packetized (the packet width from
+ *          [packet], default 8), and report cycles/ray, beats/cycle
+ *          and MSHR merges/stalls - the multi-issue datapath turning
+ *          packet fetch-sharing into throughput (default 0 = off;
+ *          hits and image are unaffected)
  */
 #include <cstdio>
 #include <cstring>
@@ -78,12 +86,18 @@ main(int argc, char **argv)
     unsigned ao_samples = argc > 6 ? unsigned(atoi(argv[6])) : 0;
     bool cache_probe = argc > 7 && atoi(argv[7]) != 0;
     unsigned packet_probe = argc > 8 ? unsigned(atoi(argv[8])) : 0;
+    unsigned issue_probe = argc > 9 ? unsigned(atoi(argv[9])) : 0;
     if (packet_probe > kMaxPacketWidth) {
         // The RT unit clamps internally; clamp here too so the probe
         // labels match the width that actually simulates.
         printf("packet probe: width %u clamped to %u\n", packet_probe,
                kMaxPacketWidth);
         packet_probe = kMaxPacketWidth;
+    }
+    if (issue_probe > kMaxIssueWidth) {
+        printf("issue probe: width %u clamped to %u\n", issue_probe,
+               kMaxIssueWidth);
+        issue_probe = kMaxIssueWidth;
     }
 
     auto tris = buildScene(scene_name);
@@ -193,7 +207,7 @@ main(int argc, char **argv)
     ncfg.rt.mem_backend = MemBackend::NodeCache;
     ncfg.rt.cache = kProbeCache4KiB;
     sim::EngineReport cached;
-    if (cache_probe || packet_probe > 1) {
+    if (cache_probe || packet_probe > 1 || issue_probe > 1) {
         primary = RayGen::primaryRays(pcfg.camera, pcfg.t_max);
         cached = sim::Engine(ncfg).run(bvh, primary);
     }
@@ -249,6 +263,42 @@ main(int argc, char **argv)
                ps.avgOccupancy(), packet_probe,
                ps.avgOccupancyAtRetire(),
                (unsigned long long)ps.divergence_splits);
+    }
+
+    if (issue_probe > 1) {
+        // The multi-issue probe: the primary batch at issue widths 1
+        // and N, scalar entries vs packets, all under the 4 KiB node
+        // cache with a bounded 8-entry MSHR file and occupancy
+        // compaction at half width. Same rays, same hits - the
+        // issue_width knob moves only how fast the unit can spend the
+        // bandwidth that packet fetch-sharing saves.
+        const unsigned pw = packet_probe > 1 ? packet_probe : 8;
+        const double n = double(primary.size());
+        printf("issue probe (primary batch, cycle-accurate, 4 KiB "
+               "node cache, 8 MSHRs):\n");
+        for (bool packets : {false, true}) {
+            for (unsigned iw : {1u, issue_probe}) {
+                sim::EngineConfig icfg = ncfg;
+                icfg.rt.mshrs = 8;
+                icfg.rt.issue_width = iw;
+                if (packets) {
+                    icfg.rt.packet.width = pw;
+                    icfg.rt.packet.compact_below = pw / 2;
+                    icfg.rt.ray_buffer_entries *= pw;
+                }
+                sim::EngineReport rep =
+                    sim::Engine(icfg).run(bvh, primary);
+                printf("  %s issue %u: %.2f cycles/ray, %.2f "
+                       "beats/cycle, %.2f requests/ray, %llu MSHR "
+                       "merges, %llu stalls-full\n",
+                       packets ? "packet" : "scalar", iw,
+                       double(rep.unit.cycles) / n,
+                       rep.unit.utilization(),
+                       double(rep.unit.mem_requests) / n,
+                       (unsigned long long)rep.unit.mshr.merges,
+                       (unsigned long long)rep.unit.mshr.stalls_full);
+            }
+        }
     }
     return 0;
 }

@@ -14,12 +14,22 @@ threshold compares real model changes, not noise. Benchmarks missing
 the counter in either file are skipped (wall-clock-only benchmarks are
 not gated).
 
+Renames and removals do NOT silently disable the gate: baseline
+benchmarks missing from the current file are reported, and any
+benchmark named with ``--require`` must be present (with the tracked
+counter) in the current file or the gate fails — so renaming a stable
+benchmark makes CI fail loudly instead of comparing nothing and
+passing.
+
 Usage:
     bench_compare.py BASELINE.json CURRENT.json
                      [--counter cycles_per_ray] [--threshold 0.20]
+                     [--require NAME]...
 
-Exit status: 0 when no tracked counter regressed (or nothing was
-comparable), 1 on regression, 2 on unreadable input.
+Exit status: 0 when no tracked counter regressed and every required
+benchmark is present (a run with nothing comparable and no --require
+still passes, with a notice), 1 on regression or missing required
+benchmark, 2 on unreadable input.
 """
 
 import argparse
@@ -57,15 +67,49 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="fail when current > baseline * (1 + T) "
                          "(default: %(default)s)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="benchmark name that must report the counter "
+                         "in CURRENT; fail when absent (repeatable). "
+                         "Keeps a rename/removal from silently "
+                         "disabling the gate.")
     args = ap.parse_args()
 
     base = load_counters(args.baseline, args.counter)
     cur = load_counters(args.current, args.counter)
+
+    failed = False
+
+    # A required benchmark missing from the current run is a hard
+    # failure: the gate would otherwise pass vacuously after a rename.
+    missing_required = sorted(n for n in args.require if n not in cur)
+    if missing_required:
+        failed = True
+        print(f"bench_compare: {len(missing_required)} required "
+              f"benchmark(s) missing '{args.counter}' in "
+              f"{args.current}:", file=sys.stderr)
+        for name in missing_required:
+            print(f"  {name}", file=sys.stderr)
+    for name in args.require:
+        if name in cur and name not in base:
+            print(f"bench_compare: note: required '{name}' has no "
+                  "baseline yet; it will be gated from the next run")
+
+    # Baseline benchmarks that vanished from the current run are worth
+    # a loud notice even when not required — a rename shrinks coverage.
+    vanished = sorted(set(base) - set(cur))
+    if vanished:
+        print(f"bench_compare: warning: {len(vanished)} baseline "
+              f"benchmark(s) report no '{args.counter}' in the "
+              "current run (renamed or removed?):")
+        for name in vanished:
+            print(f"  {name}")
+
     common = sorted(set(base) & set(cur))
     if not common:
         print(f"bench_compare: no benchmark reports '{args.counter}' "
               "in both files; nothing to gate")
-        return 0
+        return 1 if failed else 0
 
     width = max(len(n) for n in common)
     regressions = []
@@ -88,6 +132,8 @@ def main():
         for name, b, c, ratio in regressions:
             print(f"  {name}: {b:.4g} -> {c:.4g} ({ratio:.3f}x)",
                   file=sys.stderr)
+        return 1
+    if failed:
         return 1
     print(f"\nbench_compare: OK — {len(common)} benchmark(s) within "
           f"{100 * args.threshold:.0f}% of baseline")

@@ -60,24 +60,34 @@ NodeCache::touchLine(uint64_t line)
 unsigned
 NodeCache::access(uint64_t addr, uint32_t bytes)
 {
+    // Per-missed-line charge: hit_latency for the access itself plus
+    // one fill penalty per missed line, so the latency agrees with the
+    // hit/miss counters on what an access is (a K-line fetch is K line
+    // touches, not one). A non-positive penalty (miss <= hit) charges
+    // a uniform hit_latency, preserving the FixedLatency-equivalence
+    // configuration.
+    const unsigned fill = cfg_.miss_latency > cfg_.hit_latency
+                              ? cfg_.miss_latency - cfg_.hit_latency
+                              : 0;
     if (bytes == 0)
         bytes = 1;
     if (cfg_.line_bytes == 0 || cfg_.sets == 0 || cfg_.ways == 0) {
         // Zero-capacity degenerate: nothing can be resident, but the
         // miss counter keeps its line-fill semantics — one miss per
         // touched line (one per access when lines are unaddressable).
-        stats_.misses +=
+        const uint64_t touched =
             cfg_.line_bytes ? (addr + bytes - 1) / cfg_.line_bytes -
                                   addr / cfg_.line_bytes + 1
                             : 1;
-        return cfg_.miss_latency;
+        stats_.misses += touched;
+        return cfg_.hit_latency + unsigned(touched) * fill;
     }
     const uint64_t first = addr / cfg_.line_bytes;
     const uint64_t last = (addr + bytes - 1) / cfg_.line_bytes;
-    bool all_hit = true;
+    unsigned missed = 0;
     for (uint64_t line = first; line <= last; ++line)
-        all_hit &= touchLine(line);
-    return all_hit ? cfg_.hit_latency : cfg_.miss_latency;
+        missed += touchLine(line) ? 0 : 1;
+    return cfg_.hit_latency + missed * fill;
 }
 
 std::unique_ptr<MemoryModel>

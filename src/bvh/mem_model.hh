@@ -16,6 +16,15 @@
  *     address space (configurable line size, sets, ways and hit/miss
  *     latencies) with LRU replacement and per-run CacheStats.
  *
+ * One MemoryModel instance is the unit's SHARED L1: every ray-buffer
+ * slot (scalar entry or packet) of an RtUnit fetches through the same
+ * model, so slots contend for the same lines. The MshrFile in this
+ * header is the bounded outstanding-request file that fronts that L1
+ * (RtUnitConfig::mshrs): duplicate in-flight fetches of the same
+ * object merge onto one entry and a full file back-pressures
+ * requesters, which is what makes the contention visible in the
+ * timing instead of every slot enjoying a private stream.
+ *
  * Addresses are synthetic but stable: nodes and triangles live at
  * fixed strides in a flat address space (see kNodeStrideBytes /
  * kTriStrideBytes and RtUnit's address map), so cache behavior depends
@@ -88,6 +97,104 @@ struct CacheStats
                            const CacheStats &) = default;
 };
 
+/** Per-run MSHR-file counters (RtUnitConfig::mshrs). All fields are
+ *  sums of uint64 counts, so merging is commutative and associative
+ *  like the rest of the stats structs. All-zero when the file is
+ *  disabled (mshrs == 0). */
+struct MshrStats
+{
+    uint64_t allocations = 0; ///< fetches that went to memory
+    uint64_t merges = 0;      ///< fetches folded onto an in-flight entry
+    uint64_t stalls_full = 0; ///< issue attempts refused: file was full
+
+    MshrStats &
+    merge(const MshrStats &o)
+    {
+        allocations += o.allocations;
+        merges += o.merges;
+        stalls_full += o.stalls_full;
+        return *this;
+    }
+
+    friend bool operator==(const MshrStats &,
+                           const MshrStats &) = default;
+};
+
+/**
+ * Bounded outstanding-request file fronting the unit's shared L1.
+ *
+ * Each entry tracks one in-flight fetch, keyed by its target address
+ * (the synthetic address map gives every node and leaf a unique base
+ * address, so the key identifies the object). A second requester for
+ * the same address MERGES: it completes when the in-flight fill does,
+ * without touching the L1 or consuming memory-issue bandwidth — two
+ * packets fetching the same node pay one miss. When every entry is
+ * busy, new allocations are refused and the requester must retry
+ * (NeedFetch back-pressure in the RT unit).
+ *
+ * The file is a pure function of the (request, retire) call sequence —
+ * no clocks of its own, no host pointers — so it inherits the
+ * engine's bit-identical-across-worker-counts contract. Entry count 0
+ * disables the file entirely (the legacy unbounded path: every fetch
+ * goes straight to the MemoryModel).
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned entries) : entries_(entries) {}
+
+    /** True when the file models anything (mshrs > 0). */
+    bool enabled() const { return entries_ > 0; }
+
+    /** In-flight fill whose target matches `addr`, if any.
+     *  @return completion cycle of the matching entry, or 0. Fills
+     *  complete strictly after their allocation cycle, so 0 is never a
+     *  legal completion and doubles as "no match". */
+    uint64_t
+    inflightCompletion(uint64_t addr) const
+    {
+        for (const Entry &e : inflight_)
+            if (e.addr == addr)
+                return e.done_cycle;
+        return 0;
+    }
+
+    /** True when no entry is free for a new allocation. */
+    bool full() const { return inflight_.size() >= entries_; }
+
+    /** Track a new fill of `addr` completing at `done_cycle`. The
+     *  caller checks full() and inflightCompletion() first. */
+    void
+    allocate(uint64_t addr, uint64_t done_cycle)
+    {
+        inflight_.push_back({addr, done_cycle});
+    }
+
+    /** Release every entry whose fill has completed by `now` (same
+     *  done_cycle <= now rule the RT unit's response queue uses, so an
+     *  entry frees exactly when its requester is served). */
+    void
+    retire(uint64_t now)
+    {
+        std::erase_if(inflight_, [now](const Entry &e) {
+            return e.done_cycle <= now;
+        });
+    }
+
+    /** Drop all in-flight entries (start of an RtUnit::run). */
+    void reset() { inflight_.clear(); }
+
+  private:
+    struct Entry
+    {
+        uint64_t addr = 0;
+        uint64_t done_cycle = 0;
+    };
+
+    unsigned entries_;
+    std::vector<Entry> inflight_;
+};
+
 /** Which MemoryModel backend an RT unit instantiates. */
 enum class MemBackend : uint8_t {
     /** Flat per-fetch latency (RtUnitConfig::mem_latency); the
@@ -104,7 +211,13 @@ struct NodeCacheConfig
     uint32_t sets = 64;       ///< number of sets
     uint32_t ways = 4;        ///< lines per set
     unsigned hit_latency = 2; ///< cycles when every touched line hits
-    unsigned miss_latency = 20; ///< cycles when any touched line misses
+    /** Cycles of an access whose single touched line misses. An access
+     *  spanning K lines is charged per missed line:
+     *  hit_latency + misses * (miss_latency - hit_latency), so the
+     *  latency agrees with what CacheStats counts (each touched line
+     *  is one hit or one miss). miss_latency <= hit_latency degrades
+     *  to a uniform hit_latency charge. */
+    unsigned miss_latency = 20;
 
     /** Total capacity; 0 for any degenerate dimension (a zero-capacity
      *  cache is legal: every access misses, nothing is ever resident). */
@@ -164,9 +277,12 @@ class FixedLatencyMemory final : public MemoryModel
 /**
  * Set-associative cache with LRU replacement over the synthetic BVH
  * address space. A fetch touches every line overlapping
- * [addr, addr + bytes); it costs hit_latency when all touched lines are
- * resident and miss_latency when any must be filled (the fills happen
- * as part of the access, so a revisit hits). Replacement is
+ * [addr, addr + bytes); it costs hit_latency when all touched lines
+ * are resident, plus (miss_latency - hit_latency) per line that must
+ * be filled, so a K-line leaf fetch that misses everywhere costs
+ * proportionally more than one that misses a single line — the latency
+ * and the CacheStats counters agree on what an "access" is. Fills
+ * happen as part of the access, so a revisit hits. Replacement is
  * least-recently-used with a deterministic tie-break (lowest way), so
  * the model is a pure function of the access sequence.
  */

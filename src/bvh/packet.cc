@@ -172,27 +172,22 @@ PacketTraversal::fetchArrived()
 }
 
 void
-PacketTraversal::skipDeadBeats()
+PacketTraversal::pruneDeadBeats()
 {
     // Beats for lanes retired mid-leaf (any-hit) are never issued.
-    while (!pending_.empty() &&
-           lanes_[pending_.front().lane].retired)
-        pending_.pop_front();
-}
-
-bool
-PacketTraversal::hasBeat()
-{
-    if (state_ != State::Issue)
-        return false;
-    skipDeadBeats();
-    return !pending_.empty();
+    // Pruning the whole queue (not just the front) never changes the
+    // issued-beat sequence — dead beats would be skipped on their way
+    // to the front anyway — and keeps pendingCount()/makeBeatAt()
+    // indices dense for the multi-issue offer loop.
+    std::erase_if(pending_, [this](const PacketBeat &b) {
+        return lanes_[b.lane].retired;
+    });
 }
 
 core::DatapathInput
-PacketTraversal::makeBeat(uint64_t tag) const
+PacketTraversal::makeBeatAt(size_t j, uint64_t tag) const
 {
-    const Beat &b = pending_.front();
+    const PacketBeat &b = pending_[j];
     DatapathInput in;
     in.tag = tag;
     in.ray = lanes_[b.lane].ray;
@@ -211,19 +206,23 @@ PacketTraversal::makeBeat(uint64_t tag) const
     return in;
 }
 
-void
-PacketTraversal::beatAccepted()
+PacketBeat
+PacketTraversal::takeBeatAt(size_t j)
 {
-    inflight_.push_back(pending_.front());
-    pending_.pop_front();
+    assert(j < pending_.size());
+    const PacketBeat b = pending_[j];
+    pending_.erase(pending_.begin() + std::ptrdiff_t(j));
+    ++outstanding_;
+    return b;
 }
 
 void
-PacketTraversal::handleResult(const core::DatapathOutput &out)
+PacketTraversal::handleResult(const core::DatapathOutput &out,
+                              const PacketBeat &beat)
 {
-    assert(!inflight_.empty());
-    const Beat b = inflight_.front();
-    inflight_.pop_front();
+    assert(outstanding_ > 0);
+    --outstanding_;
+    const PacketBeat &b = beat;
     Lane &ln = lanes_[b.lane];
 
     if (out.op == Opcode::RayBox) {
@@ -259,8 +258,8 @@ PacketTraversal::handleResult(const core::DatapathOutput &out)
         }
     }
 
-    skipDeadBeats();
-    if (pending_.empty() && inflight_.empty())
+    pruneDeadBeats();
+    if (pending_.empty() && outstanding_ == 0)
         completeItem();
 }
 
@@ -275,6 +274,130 @@ PacketTraversal::completeItem()
         if (live_ & (1u << r))
             dropLaneFromItem(r);
     popNext();
+}
+
+unsigned
+PacketTraversal::liveLanes() const
+{
+    unsigned n = 0;
+    for (unsigned r = 0; r < n_lanes_; ++r)
+        if (!lanes_[r].retired)
+            ++n;
+    return n;
+}
+
+void
+PacketTraversal::scrubRetiredLanes()
+{
+    // An item's mask can still name lanes that retired after it was
+    // pushed; popNext() would drop them lazily (dropLaneFromItem on a
+    // retired lane only decrements its dead pending counter). Clearing
+    // the bits eagerly is equivalent — and required before a retired
+    // lane's slot is handed to an absorbed lane, or stale masks would
+    // apply old work items to the new occupant.
+    uint32_t retired = 0;
+    for (unsigned r = 0; r < n_lanes_; ++r)
+        if (lanes_[r].retired)
+            retired |= 1u << r;
+    if (retired == 0)
+        return;
+    for (Item &it : stack_)
+        it.mask &= ~retired;
+    cur_.mask &= ~retired;
+    std::erase_if(stack_, [](const Item &it) { return it.mask == 0; });
+}
+
+void
+PacketTraversal::absorb(PacketTraversal &donor)
+{
+    assert(compactable() && donor.compactable());
+    assert(donor.completed_.empty());
+    ++stats_->compactions;
+
+    scrubRetiredLanes();
+    donor.scrubRetiredLanes();
+
+    // Map each surviving donor lane onto a free slot here: retired
+    // slots are re-used first, then the packet widens toward width_.
+    std::array<int, kMaxPacketWidth> remap;
+    remap.fill(-1);
+    unsigned next_free = 0;
+    auto claimSlot = [&]() -> unsigned {
+        while (next_free < n_lanes_ && !lanes_[next_free].retired)
+            ++next_free;
+        const unsigned slot = next_free++;
+        assert(slot < width_);
+        return slot;
+    };
+    for (unsigned r = 0; r < donor.n_lanes_; ++r) {
+        if (donor.lanes_[r].retired)
+            continue;
+        const unsigned slot = claimSlot();
+        remap[r] = int(slot);
+        lanes_[slot] = donor.lanes_[r];
+        if (slot >= n_lanes_)
+            n_lanes_ = slot + 1;
+        ++stats_->lanes_repacked;
+    }
+
+    // Translate the donor's pending work into this packet's lane
+    // numbering: its stack bottom-to-top, then its current (nearest)
+    // item on top. Per-lane entry distances and pending counts move
+    // verbatim, so every lane still prunes and retires exactly as it
+    // would have in the donor — only the fetch grouping changes. A
+    // donor item naming the same node (or leaf run) as an item
+    // already on this stack FUSES into it instead — lane masks are
+    // disjoint, so the union visits the target once for both groups:
+    // this is the shared fetch (and the beat-slot occupancy) that
+    // compaction recovers after divergence.
+    auto place = [&](const Item &it, uint32_t mask) {
+        Item t;
+        t.is_leaf = it.is_leaf;
+        t.index = it.index;
+        t.count = it.count;
+        for (unsigned r = 0; r < donor.n_lanes_; ++r) {
+            if (!(mask & (1u << r)) || remap[r] < 0)
+                continue;
+            t.mask |= 1u << unsigned(remap[r]);
+            t.entry[unsigned(remap[r])] = it.entry[r];
+        }
+        if (t.mask == 0)
+            return;
+        // The recipient's own current item is a fuse target too — the
+        // headline pairing has both packets at a fetch boundary about
+        // to visit the same node, and cur_'s fetch has not issued yet,
+        // so the newcomers simply join its active mask. (They skip the
+        // pop-time prune check, which is conservative: a would-have-
+        // been-pruned subtree can only yield strictly-worse hits.)
+        if (cur_.is_leaf == t.is_leaf && cur_.index == t.index &&
+            cur_.count == t.count) {
+            for (unsigned r = 0; r < width_; ++r)
+                if (t.mask & (1u << r))
+                    cur_.entry[r] = t.entry[r];
+            cur_.mask |= t.mask;
+            live_ |= t.mask;
+            return;
+        }
+        for (Item &mine : stack_) {
+            if (mine.is_leaf == t.is_leaf && mine.index == t.index &&
+                mine.count == t.count) {
+                for (unsigned r = 0; r < width_; ++r)
+                    if (t.mask & (1u << r))
+                        mine.entry[r] = t.entry[r];
+                mine.mask |= t.mask;
+                return;
+            }
+        }
+        stack_.push_back(t);
+    };
+    for (const Item &it : donor.stack_)
+        place(it, it.mask);
+    place(donor.cur_, donor.live_);
+
+    donor.stack_.clear();
+    donor.pending_.clear();
+    donor.n_lanes_ = 0;
+    donor.state_ = State::Idle;
 }
 
 void

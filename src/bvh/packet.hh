@@ -47,6 +47,18 @@ namespace rayflex::bvh
 /** Widest packet the mask/lane bookkeeping supports. */
 inline constexpr unsigned kMaxPacketWidth = 16;
 
+/** One datapath beat of a packet's current work item: which member
+ *  lane it tests and, for leaf items, which triangle. The RT unit
+ *  holds the accepted beat in its per-datapath-lane in-flight queue
+ *  and hands it back to handleResult() with the datapath output, so
+ *  result routing never depends on cross-lane arrival order (the
+ *  multi-issue datapath drains several lanes per cycle). */
+struct PacketBeat
+{
+    uint8_t lane = 0;
+    uint32_t tri = 0; ///< triangle index (leaf items only)
+};
+
 /** Packet-mode configuration of the RT unit. */
 struct PacketConfig
 {
@@ -54,6 +66,16 @@ struct PacketConfig
      *  one-ray-per-entry path bit-for-bit; widths 2..kMaxPacketWidth
      *  enable the shared-stack wavefront scheduler. */
     unsigned width = 1;
+
+    /** Occupancy-driven compaction threshold. 0 (the default)
+     *  disables compaction, preserving the pre-compaction schedule
+     *  bit-for-bit. When > 0, a packet whose live occupancy has
+     *  fallen below this value repacks at its next fetch boundary
+     *  with the surviving lanes of another below-threshold packet
+     *  (combined occupancy permitting), recovering beat slots lost to
+     *  divergence and freeing the donor slot to admit fresh rays.
+     *  Hit records never change — only the schedule does. */
+    unsigned compact_below = 0;
 
     friend bool operator==(const PacketConfig &,
                            const PacketConfig &) = default;
@@ -75,6 +97,8 @@ struct PacketStats
     uint64_t rays_retired = 0;     ///< lanes retired from packets
     uint64_t occupancy_at_retire = 0; ///< unretired lanes (incl. self)
                                       ///< summed at each retirement
+    uint64_t compactions = 0;      ///< donor packets absorbed
+    uint64_t lanes_repacked = 0;   ///< live lanes moved by compaction
 
     /** Mean active lanes per shared node visit. */
     double
@@ -104,6 +128,8 @@ struct PacketStats
         divergence_splits += o.divergence_splits;
         rays_retired += o.rays_retired;
         occupancy_at_retire += o.occupancy_at_retire;
+        compactions += o.compactions;
+        lanes_repacked += o.lanes_repacked;
         return *this;
     }
 
@@ -116,8 +142,12 @@ struct PacketStats
  * PacketConfig::width rays. The RT unit owns a vector of these and
  * drives them through four service points per cycle — memory
  * (needsFetch/fetchIssued/fetchArrived), datapath issue
- * (hasBeat/makeBeat/beatAccepted), datapath drain (handleResult) and
- * refill (admit) — mirroring the scalar Entry lifecycle, packet-wide.
+ * (issueReady/makeBeatAt/takeBeatAt, up to issue_width beats per
+ * cycle), datapath drain (handleResult) and refill (admit) —
+ * mirroring the scalar Entry lifecycle, packet-wide. Between work
+ * items (compactable()) a divergence-thinned packet can absorb()
+ * another's surviving lanes, so the beat slots divergence emptied are
+ * recovered instead of riding along dead.
  *
  * The class is a pure function of the admitted rays and the shared BVH
  * (no clocks, no host pointers in decisions), which is what lets the
@@ -163,17 +193,45 @@ class PacketTraversal
     void fetchArrived();
 
     // ---- datapath service ----------------------------------------------
-    /** True when a beat is ready to offer this cycle. */
-    bool hasBeat();
-    /** The next beat (valid after hasBeat()); `tag` is echoed on the
+    /** True when the packet is in its issue phase (fetched data
+     *  present; beats pending and/or results outstanding). */
+    bool issueReady() const { return state_ == State::Issue; }
+    /** Drop every queued beat whose lane has retired (any-hit lanes
+     *  die mid-leaf); such beats are never issued. Call before
+    *   peeking the pending queue. */
+    void pruneDeadBeats();
+    /** Beats awaiting issue (after pruneDeadBeats()). The multi-issue
+     *  unit offers pending beats 0..N-1 to its N datapath lanes in one
+     *  cycle — SIMD-style back-to-back member-lane beats. */
+    size_t pendingCount() const { return pending_.size(); }
+    /** Datapath input for pending beat `j`; `tag` is echoed on the
      *  datapath output so the unit can route the result back here. */
-    core::DatapathInput makeBeat(uint64_t tag) const;
-    /** The offered beat was accepted by the datapath. */
-    void beatAccepted();
-    /** Fold one datapath result back into the packet. Results arrive
-     *  in issue order (the pipeline is in-order), so the front of the
-     *  in-flight queue identifies the lane and triangle. */
-    void handleResult(const core::DatapathOutput &out);
+    core::DatapathInput makeBeatAt(size_t j, uint64_t tag) const;
+    /** Pending beat `j` was accepted by a datapath lane: remove it
+     *  from the queue and count it outstanding. @return the beat, for
+     *  the unit's per-lane in-flight queue. */
+    PacketBeat takeBeatAt(size_t j);
+    /** Fold one datapath result back into the packet. `beat` is the
+     *  value takeBeatAt() returned when this result's input was
+     *  accepted — the unit's per-lane queues preserve it, so routing
+     *  is explicit rather than inferred from arrival order. */
+    void handleResult(const core::DatapathOutput &out,
+                      const PacketBeat &beat);
+
+    // ---- occupancy-driven compaction -----------------------------------
+    /** Lanes admitted and not yet retired. */
+    unsigned liveLanes() const;
+    /** True when the packet sits at a fetch boundary (NeedFetch): no
+     *  beats pending or in flight, so its lanes and stack can be
+     *  repacked without disturbing any in-flight state. */
+    bool compactable() const { return state_ == State::NeedFetch; }
+    /** Move `donor`'s live lanes and their pending work into this
+     *  packet's free lane slots (the caller checks the combined live
+     *  count fits the width). Both packets must be compactable().
+     *  Donor becomes Idle and can admit fresh rays. Per-lane
+     *  traversal state moves verbatim, so hit records are unchanged —
+     *  only the schedule (and the shared-fetch grouping) moves. */
+    void absorb(PacketTraversal &donor);
 
     // ---- retirement ----------------------------------------------------
     /** Rays completed since the last drain, as (ray_id, record) pairs
@@ -216,19 +274,14 @@ class PacketTraversal
         uint32_t pending = 0; ///< stack items (+ current) naming it
     };
 
-    /** One issued-or-pending datapath beat. */
-    struct Beat
-    {
-        uint8_t lane = 0;
-        uint32_t tri = 0; ///< triangle index (leaf items only)
-    };
-
     void popNext();
     void completeItem();
     void mergeBoxResults();
     void dropLaneFromItem(unsigned lane);
     void retireLane(unsigned lane, const HitRecord &rec);
-    void skipDeadBeats();
+    /** Clear retired lanes out of this packet's stack masks (and
+     *  cur_), so their lane slots can be re-used by absorbed lanes. */
+    void scrubRetiredLanes();
 
     const Bvh4 &bvh_;
     unsigned width_;
@@ -242,8 +295,9 @@ class PacketTraversal
     std::array<Lane, kMaxPacketWidth> lanes_;
     unsigned n_lanes_ = 0;
 
-    std::deque<Beat> pending_;  ///< beats not yet issued
-    std::deque<Beat> inflight_; ///< beats inside the datapath
+    std::deque<PacketBeat> pending_; ///< beats not yet issued
+    unsigned outstanding_ = 0; ///< accepted beats not yet resolved
+                               ///< (held in the unit's per-lane queues)
     std::array<core::BoxResult, kMaxPacketWidth> box_res_;
 
     std::vector<std::pair<uint32_t, HitRecord>> completed_;

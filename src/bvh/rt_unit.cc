@@ -2,27 +2,37 @@
  * @file
  * Cycle-level RT-unit implementation.
  *
- * Per cycle the unit (a) drives at most one beat into the datapath from
- * a ready ray, (b) drains one datapath result, (c) retires memory
- * responses and issues new node fetches, and (d) refills free ray-buffer
- * slots from the submission queue. All interactions with the datapath go
- * through the ordinary valid-ready handshake, so the unit observes real
+ * Per cycle the unit (a) drives up to issue_width beats into the
+ * datapath lanes from ready rays, (b) drains one datapath result per
+ * lane, (c) retires memory responses and issues new node fetches
+ * through the shared L1 (optionally via the bounded MSHR file), and
+ * (d) refills free ray-buffer slots from the submission queue. All
+ * interactions with the datapath go through the ordinary valid-ready
+ * handshake — one handshake per lane — so the unit observes real
  * pipeline back-pressure.
  *
  * The same four-step loop drives both schedulers: the scalar mode
  * iterates per-ray Entry slots, the packet mode (packet.width > 1,
  * bvh/packet.hh) iterates PacketTraversal slots — a packet in NeedFetch
  * issues ONE fetch for its whole active mask, and a packet with fetched
- * data issues one beat per active lane back-to-back. The scalar path is
- * bit-for-bit the pre-packet unit; no packet code runs at width 1.
+ * data issues one beat per active lane, up to issue_width of them in
+ * the same cycle. With packet.compact_below > 0 a step between (b) and
+ * (c) repacks divergence-thinned packets at their fetch boundaries.
+ * The scalar path at issue_width == 1 is bit-for-bit the pre-packet
+ * unit; no packet code runs at width 1.
  *
- * Fetch latency comes from the configured MemoryModel. The address map
- * is synthetic but stable: node i occupies
+ * Fetch latency comes from the configured MemoryModel — the unit's
+ * shared L1: one instance serves every slot. The address map is
+ * synthetic but stable: node i occupies
  * [i * kNodeStrideBytes, (i+1) * kNodeStrideBytes) and the triangle
  * region starts immediately after the last node, with triangle j at
  * tri_base + j * kTriStrideBytes. A leaf fetch reads all of the leaf's
  * triangles in one request, so the cache sees the same spatial
- * locality the traversal order produces.
+ * locality the traversal order produces. With RtUnitConfig::mshrs > 0
+ * every fetch routes through a bounded MSHR file first: a fetch whose
+ * target is already in flight merges onto the existing entry (one miss
+ * serves both requesters, no L1 touch, no issue bandwidth), and a full
+ * file refuses new allocations, holding the requester in NeedFetch.
  */
 #include "bvh/rt_unit.hh"
 
@@ -38,10 +48,13 @@ using fp::fromBits;
 RtUnit::RtUnit(const Bvh4 &bvh, core::RayFlexDatapath &dp,
                const RtUnitConfig &cfg, MemoryModel *shared_mem)
     : pipeline::Component("rt-unit"), bvh_(bvh), dp_(dp), cfg_(cfg),
+      mshrs_(cfg.mshrs),
       tri_base_(uint64_t(bvh.nodes.size()) * kNodeStrideBytes)
 {
     cfg_.packet.width =
         std::clamp(cfg_.packet.width, 1u, kMaxPacketWidth);
+    cfg_.issue_width =
+        std::clamp(cfg_.issue_width, 1u, kMaxIssueWidth);
     if (shared_mem) {
         mem_ = shared_mem;
         mem_is_shared_ = true;
@@ -50,6 +63,16 @@ RtUnit::RtUnit(const Bvh4 &bvh, core::RayFlexDatapath &dp,
                                      cfg_.cache);
         mem_ = owned_mem_.get();
     }
+    // Lane 0 is the caller's datapath; lanes 1..N-1 are private
+    // replicas of the same configuration, one handshake each.
+    lanes_.push_back(&dp_);
+    for (unsigned l = 1; l < cfg_.issue_width; ++l) {
+        extra_lanes_.push_back(
+            std::make_unique<core::RayFlexDatapath>(dp_.config()));
+        lanes_.push_back(extra_lanes_.back().get());
+    }
+    offers_.resize(lanes_.size());
+    lane_inflight_.resize(lanes_.size());
     if (packetized()) {
         // The ray buffer holds the same number of rays either way; a
         // packet slot stands in for `width` scalar entries.
@@ -62,32 +85,79 @@ RtUnit::RtUnit(const Bvh4 &bvh, core::RayFlexDatapath &dp,
         for (unsigned i = 0; i < slots; ++i)
             packets_.emplace_back(bvh_, cfg_.packet.width, mode,
                                   &stats_.packet);
+        cfg_.packet.compact_below =
+            std::min(cfg_.packet.compact_below, cfg_.packet.width);
+        compact_hold_.assign(slots, 0);
     } else {
         entries_.resize(cfg_.ray_buffer_entries);
     }
 }
 
-/** Latency of one fetch in the synthetic address map: the whole leaf
- *  for leaf work, one wide node otherwise. Both schedulers go through
- *  here, so scalar and packet mode can never diverge on addresses. */
+/** Synthetic address map shared by both schedulers (so scalar and
+ *  packet mode can never diverge on addresses): the whole leaf for
+ *  leaf work, one wide node otherwise. The address doubles as the
+ *  MSHR merge key — each node and leaf has a unique base address. */
+void
+RtUnit::fetchTarget(bool is_leaf, uint32_t index, uint32_t count,
+                    uint64_t *addr, uint32_t *bytes) const
+{
+    if (is_leaf) {
+        *addr = tri_base_ + uint64_t(index) * kTriStrideBytes;
+        *bytes = count * kTriStrideBytes;
+    } else {
+        *addr = uint64_t(index) * kNodeStrideBytes;
+        *bytes = kNodeStrideBytes;
+    }
+}
+
+/** Latency of one fetch against the shared L1. */
 unsigned
 RtUnit::accessLatency(bool is_leaf, uint32_t index, uint32_t count)
 {
-    if (is_leaf)
-        return mem_->access(tri_base_ +
-                                uint64_t(index) * kTriStrideBytes,
-                            count * kTriStrideBytes);
-    return mem_->access(uint64_t(index) * kNodeStrideBytes,
-                        kNodeStrideBytes);
+    uint64_t addr;
+    uint32_t bytes;
+    fetchTarget(is_leaf, index, count, &addr, &bytes);
+    return mem_->access(addr, bytes);
 }
 
-/** Latency of the fetch an entry in NeedFetch is about to issue. */
-unsigned
-RtUnit::fetchLatency(const Entry &e)
+/** Route one slot's fetch to memory: straight to the L1 when the MSHR
+ *  file is disabled (the legacy unbounded path, bit-for-bit), else
+ *  merge-or-allocate through the file. `issued` is the memory-issue
+ *  bandwidth consumed this cycle; merges are free (they ride an
+ *  in-flight fill instead of going to memory). */
+bool
+RtUnit::issueFetch(size_t slot, bool is_leaf, uint32_t index,
+                   uint32_t count, unsigned &issued)
 {
-    return e.leaf_count > 0
-               ? accessLatency(true, e.leaf_first, e.leaf_count)
-               : accessLatency(false, e.node, 0);
+    if (!mshrs_.enabled()) {
+        mem_queue_.push_back(
+            {slot, now_ + accessLatency(is_leaf, index, count)});
+        ++stats_.mem_requests;
+        ++issued;
+        return true;
+    }
+    uint64_t addr;
+    uint32_t bytes;
+    fetchTarget(is_leaf, index, count, &addr, &bytes);
+    if (const uint64_t done = mshrs_.inflightCompletion(addr)) {
+        // Duplicate of an in-flight fill: complete when it does.
+        mem_queue_.push_back({slot, done});
+        ++stats_.mshr.merges;
+        return true;
+    }
+    if (mshrs_.full()) {
+        ++stats_.mshr.stalls_full;
+        return false; // back-pressure: slot retries next cycle
+    }
+    if (issued >= cfg_.mem_requests_per_cycle)
+        return false;
+    const uint64_t done = now_ + accessLatency(is_leaf, index, count);
+    mshrs_.allocate(addr, done);
+    mem_queue_.push_back({slot, done});
+    ++stats_.mshr.allocations;
+    ++stats_.mem_requests;
+    ++issued;
+    return true;
 }
 
 void
@@ -110,15 +180,14 @@ RtUnit::popWork(Entry &e)
             continue;
         if (w.is_leaf) {
             e.leaf_first = w.index;
-            e.leaf_count = w.count;
             e.leaf_next = w.index;
         } else {
             e.node = w.index;
         }
-        // Both node and leaf data come from memory.
-        e.state = EntryState::NeedFetch;
-        // Remember what kind of data the fetch returns.
+        // Both node and leaf data come from memory; leaf_count doubles
+        // as the fetched-data kind (> 0 leaf, 0 node).
         e.leaf_count = w.is_leaf ? w.count : 0;
+        e.state = EntryState::NeedFetch;
         return;
     }
     // Traversal complete.
@@ -135,15 +204,6 @@ RtUnit::finishRay(Entry &e, const HitRecord &rec)
     ++stats_.rays_completed;
 }
 
-/** Latency of the fetch a packet in NeedFetch is about to issue (one
- *  fetch serves the packet's whole active mask — that IS the sharing). */
-unsigned
-RtUnit::packetFetchLatency(const PacketTraversal &p)
-{
-    return accessLatency(p.fetchIsLeaf(), p.fetchIndex(),
-                         p.fetchCount());
-}
-
 /** Move a packet's retired rays into the unit's results. */
 void
 RtUnit::drainCompleted(PacketTraversal &p)
@@ -156,71 +216,128 @@ RtUnit::drainCompleted(PacketTraversal &p)
     p.completed().clear();
 }
 
-/** Packet-mode publish: offer one beat from the first packet with
- *  pending work (same first-ready policy as the scalar path). */
+/** Occupancy-driven compaction (packet.compact_below > 0): pair
+ *  packets sitting at a fetch boundary whose live occupancy fell
+ *  below the threshold and repack the donor's surviving lanes into
+ *  the recipient, freeing the donor slot for fresh rays. Greedy in
+ *  slot order, so the pairing is a pure function of packet state and
+ *  the engine's determinism contract holds. Two thinned packets
+ *  rarely reach a fetch boundary on the same cycle, so a
+ *  below-threshold packet DEFERS its next fetch for up to
+ *  kCompactWaitCycles (see the issue loop in advancePacket) — the
+ *  repacking window in which a partner can appear. */
+void
+RtUnit::compactPackets()
+{
+    const unsigned threshold = cfg_.packet.compact_below;
+    if (threshold == 0)
+        return;
+    for (size_t i = 0; i < packets_.size(); ++i) {
+        PacketTraversal &p = packets_[i];
+        if (!p.compactable())
+            continue;
+        unsigned live = p.liveLanes();
+        if (live == 0 || live >= threshold)
+            continue;
+        for (size_t j = i + 1;
+             j < packets_.size() && live < threshold; ++j) {
+            PacketTraversal &q = packets_[j];
+            if (!q.compactable())
+                continue;
+            const unsigned ql = q.liveLanes();
+            if (ql == 0 || ql >= threshold ||
+                live + ql > cfg_.packet.width)
+                continue;
+            p.absorb(q);
+            compact_hold_[i] = 0;
+            compact_hold_[j] = 0;
+            live += ql;
+        }
+    }
+}
+
+/** Packet-mode publish: offer up to issue_width beats, scanning
+ *  packets first-ready (same policy as the scalar path); one packet
+ *  with several pending beats may fill several lanes in one cycle —
+ *  the SIMD-style multi-ray beats of the wavefront scheduler. */
 void
 RtUnit::publishPacket()
 {
-    for (size_t i = 0; i < packets_.size(); ++i) {
-        if (packets_[i].hasBeat()) {
-            dp_.in().valid = true;
-            dp_.in().bits = packets_[i].makeBeat(i);
-            drove_input_ = true;
-            issue_entry_ = i;
-            return;
+    size_t lane = 0;
+    for (size_t i = 0; i < packets_.size() && lane < lanes_.size();
+         ++i) {
+        PacketTraversal &p = packets_[i];
+        if (!p.issueReady())
+            continue;
+        p.pruneDeadBeats();
+        const size_t nb = p.pendingCount();
+        for (size_t j = 0; j < nb && lane < lanes_.size();
+             ++j, ++lane) {
+            lanes_[lane]->in().valid = true;
+            lanes_[lane]->in().bits = p.makeBeatAt(j, i);
+            offers_[lane] = {i, j};
         }
     }
-    dp_.in().valid = false;
+    for (; lane < lanes_.size(); ++lane)
+        lanes_[lane]->in().valid = false;
 }
 
 void
 RtUnit::publish(uint64_t)
 {
-    // Always willing to drain results.
-    dp_.out().ready = true;
+    // Always willing to drain results, every lane.
+    for (core::RayFlexDatapath *l : lanes_)
+        l->out().ready = true;
+    for (LaneOffer &o : offers_)
+        o = LaneOffer{};
 
-    drove_input_ = false;
     if (packetized()) {
         publishPacket();
         return;
     }
 
-    // Offer one beat from the first ready entry (round-robin would be
-    // fairer; first-ready is sufficient for utilization studies).
-    for (size_t i = 0; i < entries_.size(); ++i) {
-        Entry &e = entries_[i];
-        if (e.state == EntryState::ReadyBox) {
-            DatapathInput in;
-            in.op = Opcode::RayBox;
-            in.ray = e.ray;
-            in.tag = i;
-            const WideNode &node = bvh_.nodes[e.node];
-            for (int c = 0; c < 4; ++c) {
-                in.boxes[c] =
-                    node.child[c].kind == WideNode::Kind::Empty
-                        ? emptySlotBox()
-                        : node.child[c].bounds.toIoBox();
+    // Offer one beat per lane from the first ready entries
+    // (round-robin would be fairer; first-ready is sufficient for
+    // utilization studies). An entry has at most one beat in flight,
+    // so the scan hands each lane a distinct entry.
+    size_t next = 0;
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+        bool found = false;
+        for (size_t i = next; i < entries_.size(); ++i) {
+            Entry &e = entries_[i];
+            if (e.state == EntryState::ReadyBox) {
+                DatapathInput in;
+                in.op = Opcode::RayBox;
+                in.ray = e.ray;
+                in.tag = i;
+                const WideNode &node = bvh_.nodes[e.node];
+                for (int c = 0; c < 4; ++c) {
+                    in.boxes[c] =
+                        node.child[c].kind == WideNode::Kind::Empty
+                            ? emptySlotBox()
+                            : node.child[c].bounds.toIoBox();
+                }
+                lanes_[l]->in().valid = true;
+                lanes_[l]->in().bits = in;
+            } else if (e.state == EntryState::ReadyTri) {
+                DatapathInput in;
+                in.op = Opcode::RayTriangle;
+                in.ray = e.ray;
+                in.tag = i;
+                in.tri = bvh_.tris[e.leaf_next].toIoTriangle();
+                lanes_[l]->in().valid = true;
+                lanes_[l]->in().bits = in;
+            } else {
+                continue;
             }
-            dp_.in().valid = true;
-            dp_.in().bits = in;
-            drove_input_ = true;
-            issue_entry_ = i;
-            return;
+            offers_[l].entry = i;
+            next = i + 1;
+            found = true;
+            break;
         }
-        if (e.state == EntryState::ReadyTri) {
-            DatapathInput in;
-            in.op = Opcode::RayTriangle;
-            in.ray = e.ray;
-            in.tag = i;
-            in.tri = bvh_.tris[e.leaf_next].toIoTriangle();
-            dp_.in().valid = true;
-            dp_.in().bits = in;
-            drove_input_ = true;
-            issue_entry_ = i;
-            return;
-        }
+        if (!found)
+            lanes_[l]->in().valid = false;
     }
-    dp_.in().valid = false;
 }
 
 void
@@ -249,10 +366,9 @@ RtUnit::handleResult(const core::DatapathOutput &out)
         }
         popWork(e);
     } else {
-        // Triangle result for e.leaf_next - 1 was issued; actually the
-        // in-flight triangle index is tracked in e.leaf_next at issue
-        // time and advanced on acceptance, so the result corresponds to
-        // inflight_tri_.
+        // e.inflight_tri was latched at issue time (when leaf_next
+        // advanced past it), so it names exactly the triangle this
+        // result tested.
         const SceneTriangle &tri = bvh_.tris[e.inflight_tri];
         if (out.tri.hit) {
             float den = fromBits(out.tri.t_den);
@@ -289,38 +405,70 @@ RtUnit::handleResult(const core::DatapathOutput &out)
     }
 }
 
-/** Packet-mode advance: the same (a)–(d) steps over packet slots. */
+/** Packet-mode advance: the same (a)-(d) steps over packet slots. */
 void
 RtUnit::advancePacket()
 {
-    // (a) Input handshake outcome.
-    if (drove_input_ && dp_.in().valid && dp_.in().ready) {
-        ++stats_.datapath_beats;
-        packets_[issue_entry_].beatAccepted();
-    } else {
-        ++stats_.datapath_idle;
-        bool waiting_mem = false;
-        for (const PacketTraversal &p : packets_) {
-            if (p.waitingOnMemory()) {
-                waiting_mem = true;
-                break;
+    // (a) Input handshake outcome, per lane. Accepted beats are popped
+    // in descending lane order so a packet's remaining pending-beat
+    // indices stay valid (its offers were taken in ascending order).
+    // waiting-on-memory is computed lazily on the first idle lane and
+    // cached for the cycle (no packet changes NeedFetch/Fetching state
+    // during this step, so the first answer holds for every lane).
+    int waiting_mem = -1;
+    std::array<bool, kMaxIssueWidth> fired{};
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+        const auto &in = lanes_[l]->in();
+        if (offers_[l].entry != kNoOffer && in.valid && in.ready) {
+            fired[l] = true;
+            ++stats_.datapath_beats;
+        } else {
+            ++stats_.datapath_idle;
+            if (waiting_mem < 0) {
+                waiting_mem = 0;
+                for (const PacketTraversal &p : packets_) {
+                    if (p.waitingOnMemory()) {
+                        waiting_mem = 1;
+                        break;
+                    }
+                }
             }
+            if (waiting_mem)
+                ++stats_.stall_on_memory;
         }
-        if (waiting_mem)
-            ++stats_.stall_on_memory;
+    }
+    for (size_t l = lanes_.size(); l-- > 0;) {
+        if (!fired[l])
+            continue;
+        const LaneOffer o = offers_[l];
+        lane_inflight_[l].push_back(
+            {o.entry, packets_[o.entry].takeBeatAt(o.beat)});
     }
 
-    // (b) Output handshake outcome. A result can complete the packet's
+    // (b) Output handshake outcome, per lane. Each lane is in order,
+    // so its front in-flight beat identifies the result's packet,
+    // member lane and triangle. A result can complete the packet's
     // current item, push children and retire lanes whose work ran out.
-    if (dp_.out().valid && dp_.out().ready) {
-        const DatapathOutput &out = dp_.out().bits;
-        PacketTraversal &p = packets_[out.tag];
-        p.handleResult(out);
-        drainCompleted(p);
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+        const auto &out = lanes_[l]->out();
+        if (out.valid && out.ready) {
+            const InflightBeat ib = lane_inflight_[l].front();
+            lane_inflight_[l].pop_front();
+            PacketTraversal &p = packets_[ib.slot];
+            p.handleResult(out.bits, ib.beat);
+            drainCompleted(p);
+        }
     }
+
+    // Occupancy-driven repacking at fetch boundaries, before new
+    // fetches are issued for the packets involved.
+    compactPackets();
 
     // (c) Memory: completion-ordered retirement, then issue — one
-    // fetch serves a packet's whole active mask.
+    // fetch serves a packet's whole active mask, and the MSHR file
+    // (when enabled) merges duplicate in-flight targets across
+    // packets.
+    mshrs_.retire(now_);
     for (auto it = mem_queue_.begin(); it != mem_queue_.end();) {
         if (it->done_cycle <= now_) {
             packets_[it->entry].fetchArrived();
@@ -330,15 +478,29 @@ RtUnit::advancePacket()
         }
     }
     unsigned issued = 0;
-    for (size_t i = 0;
-         i < packets_.size() && issued < cfg_.mem_requests_per_cycle;
-         ++i) {
+    for (size_t i = 0; i < packets_.size(); ++i) {
         PacketTraversal &p = packets_[i];
-        if (p.needsFetch()) {
-            mem_queue_.push_back({i, now_ + packetFetchLatency(p)});
+        if (!p.needsFetch())
+            continue;
+        if (!mshrs_.enabled() &&
+            issued >= cfg_.mem_requests_per_cycle)
+            break;
+        // A below-threshold packet defers its fetch inside the
+        // repacking window, waiting for a partner to reach a fetch
+        // boundary (compactPackets pairs them). The window is bounded,
+        // so an unlucky packet resumes alone after it expires.
+        if (cfg_.packet.compact_below > 0 &&
+            compact_hold_[i] < kCompactWaitCycles) {
+            const unsigned live = p.liveLanes();
+            if (live > 0 && live < cfg_.packet.compact_below) {
+                ++compact_hold_[i];
+                continue;
+            }
+        }
+        if (issueFetch(i, p.fetchIsLeaf(), p.fetchIndex(),
+                       p.fetchCount(), issued)) {
             p.fetchIssued();
-            ++stats_.mem_requests;
-            ++issued;
+            compact_hold_[i] = 0;
         }
     }
 
@@ -366,34 +528,45 @@ RtUnit::advance(uint64_t cycle)
         return;
     }
 
-    // (a) Input handshake outcome.
-    if (drove_input_ && dp_.in().valid && dp_.in().ready) {
-        Entry &e = entries_[issue_entry_];
-        ++stats_.datapath_beats;
-        if (e.state == EntryState::ReadyBox) {
-            e.state = EntryState::InFlight;
-        } else {
-            e.inflight_tri = e.leaf_next;
-            ++e.leaf_next;
-            e.state = EntryState::InFlight;
-        }
-    } else {
-        ++stats_.datapath_idle;
-        bool waiting_mem = false;
-        for (const Entry &e : entries_) {
-            if (e.state == EntryState::Fetching ||
-                e.state == EntryState::NeedFetch) {
-                waiting_mem = true;
-                break;
+    // (a) Input handshake outcome, per lane. waiting-on-memory is
+    // computed lazily on the first idle lane and cached for the cycle
+    // (accepted beats only move Ready* entries to InFlight, never in
+    // or out of NeedFetch/Fetching, so the first answer holds).
+    int waiting_mem = -1;
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+        const auto &in = lanes_[l]->in();
+        if (offers_[l].entry != kNoOffer && in.valid && in.ready) {
+            Entry &e = entries_[offers_[l].entry];
+            ++stats_.datapath_beats;
+            if (e.state == EntryState::ReadyBox) {
+                e.state = EntryState::InFlight;
+            } else {
+                e.inflight_tri = e.leaf_next;
+                ++e.leaf_next;
+                e.state = EntryState::InFlight;
             }
+        } else {
+            ++stats_.datapath_idle;
+            if (waiting_mem < 0) {
+                waiting_mem = 0;
+                for (const Entry &e : entries_) {
+                    if (e.state == EntryState::Fetching ||
+                        e.state == EntryState::NeedFetch) {
+                        waiting_mem = 1;
+                        break;
+                    }
+                }
+            }
+            if (waiting_mem)
+                ++stats_.stall_on_memory;
         }
-        if (waiting_mem)
-            ++stats_.stall_on_memory;
     }
 
-    // (b) Output handshake outcome.
-    if (dp_.out().valid && dp_.out().ready)
-        handleResult(dp_.out().bits);
+    // (b) Output handshake outcome, per lane.
+    for (core::RayFlexDatapath *lane : lanes_) {
+        if (lane->out().valid && lane->out().ready)
+            handleResult(lane->out().bits);
+    }
 
     // (c) Memory: retire due responses, issue new fetches. Retirement
     // is completion-ordered, not FIFO: with the cache backend a cheap
@@ -402,6 +575,7 @@ RtUnit::advance(uint64_t cycle)
     // exists to expose would be masked. (Under a uniform-latency
     // backend completion order equals issue order, so this retires
     // exactly what the original FIFO pop did, cycle for cycle.)
+    mshrs_.retire(now_);
     for (auto it = mem_queue_.begin(); it != mem_queue_.end();) {
         if (it->done_cycle <= now_) {
             Entry &e = entries_[it->entry];
@@ -413,16 +587,18 @@ RtUnit::advance(uint64_t cycle)
         }
     }
     unsigned issued = 0;
-    for (size_t i = 0;
-         i < entries_.size() && issued < cfg_.mem_requests_per_cycle;
-         ++i) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
         Entry &e = entries_[i];
-        if (e.state == EntryState::NeedFetch) {
-            mem_queue_.push_back({i, now_ + fetchLatency(e)});
+        if (e.state != EntryState::NeedFetch)
+            continue;
+        if (!mshrs_.enabled() &&
+            issued >= cfg_.mem_requests_per_cycle)
+            break;
+        if (issueFetch(i, e.leaf_count > 0, e.leaf_count > 0
+                                                ? e.leaf_first
+                                                : e.node,
+                       e.leaf_count, issued))
             e.state = EntryState::Fetching;
-            ++stats_.mem_requests;
-            ++issued;
-        }
     }
 
     // (d) Refill free slots with queued rays.
@@ -453,9 +629,13 @@ RtUnitStats
 RtUnit::run(uint64_t max_cycles)
 {
     pipeline::Simulator sim;
-    dp_.registerWith(sim);
+    for (core::RayFlexDatapath *lane : lanes_)
+        lane->registerWith(sim);
     sim.add(this);
     stats_ = {};
+    mshrs_.reset();
+    for (auto &q : lane_inflight_)
+        q.clear();
     CacheStats mem_before;
     if (mem_is_shared_)
         mem_before = mem_->stats(); // warm: keep contents, report delta

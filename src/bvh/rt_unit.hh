@@ -8,16 +8,19 @@
  * simplified version of that enclosing unit so the pipelined datapath
  * can be exercised under realistic traversal traffic: a ray buffer holds
  * in-flight rays with their traversal stacks, a pluggable MemoryModel
- * (bvh/mem_model.hh) supplies BVH data — either the original flat
- * fixed-latency fetch or a set-associative node cache with hit/miss
- * latencies and per-run CacheStats — and a scheduler feeds ready rays
- * into the datapath one beat per cycle. Two scheduling modes exist:
- * the scalar mode traces one independent ray per ray-buffer entry, and
+ * (bvh/mem_model.hh) — the unit's SHARED L1, serving every slot, and
+ * optionally fronted by a bounded MSHR file (RtUnitConfig::mshrs)
+ * that merges duplicate in-flight fetches and back-pressures slots
+ * when full — supplies BVH data, and a scheduler feeds ready rays
+ * into a datapath of RtUnitConfig::issue_width replicated lanes, up
+ * to one beat per lane per cycle. Two scheduling modes exist: the
+ * scalar mode traces one independent ray per ray-buffer entry, and
  * the packet/wavefront mode (RtUnitConfig::packet, bvh/packet.hh)
  * groups coherent rays into packets that share a traversal stack and
- * one BVH fetch per visited node. This is the model used to measure
- * datapath utilization, memory sensitivity and rays/cycle on real
- * scenes.
+ * one BVH fetch per visited node, optionally repacking
+ * divergence-thinned packets (PacketConfig::compact_below). This is
+ * the model used to measure datapath utilization, memory sensitivity
+ * and rays/cycle on real scenes.
  */
 #ifndef RAYFLEX_BVH_RT_UNIT_HH
 #define RAYFLEX_BVH_RT_UNIT_HH
@@ -45,6 +48,9 @@ enum class TraversalMode : uint8_t {
     Any,
 };
 
+/** Widest datapath the unit can drive (issue lanes per cycle). */
+inline constexpr unsigned kMaxIssueWidth = 8;
+
 /** RT-unit configuration. */
 struct RtUnitConfig
 {
@@ -53,6 +59,23 @@ struct RtUnitConfig
     unsigned mem_latency = 20;
     unsigned mem_requests_per_cycle = 1;
     TraversalMode mode = TraversalMode::Closest;
+
+    /** Datapath issue lanes, 1..kMaxIssueWidth. The unit drives up to
+     *  this many beats per cycle into the datapath by replicating the
+     *  pipeline lane behind one valid/ready handshake per lane: lane 0
+     *  is the caller's datapath, lanes 1..N-1 are private replicas
+     *  built from the same DatapathConfig. issue_width == 1 (the
+     *  default) preserves the single-beat scalar and packet schedules
+     *  bit-for-bit. */
+    unsigned issue_width = 1;
+
+    /** Bounded MSHR file fronting the unit's shared L1 (bvh::MshrFile).
+     *  0 (the default) disables the file — the legacy unbounded path,
+     *  bit-for-bit. When > 0, duplicate in-flight fetches of the same
+     *  node/leaf merge onto one outstanding entry (one miss serves
+     *  them all) and a full file back-pressures NeedFetch slots until
+     *  an entry retires. */
+    unsigned mshrs = 0;
 
     /** Which memory model serves BVH fetches. The default reproduces
      *  the original flat-latency timing bit-for-bit. */
@@ -73,8 +96,11 @@ struct RtUnitStats
     uint64_t cycles = 0;
     uint64_t rays_completed = 0;
     uint64_t datapath_beats = 0;   ///< beats issued into the pipeline
-    uint64_t datapath_idle = 0;    ///< cycles with no beat issued
-    uint64_t mem_requests = 0;
+    /** Issue slots (lanes x cycles) with no beat issued. At
+     *  issue_width == 1 this is exactly the legacy cycles-with-no-beat
+     *  counter; wider units can lose several slots per cycle. */
+    uint64_t datapath_idle = 0;
+    uint64_t mem_requests = 0;     ///< fetches that reached the L1
     uint64_t stall_on_memory = 0;  ///< issue slots lost waiting on fetch
 
     /** Node-cache counters; all-zero under MemBackend::FixedLatency.
@@ -86,7 +112,12 @@ struct RtUnitStats
      *  (packet.width == 1). Same commutative-sum merge contract. */
     PacketStats packet;
 
-    /** Fraction of cycles the datapath accepted a beat. */
+    /** MSHR-file counters; all-zero when the file is disabled
+     *  (mshrs == 0). Same commutative-sum merge contract. */
+    MshrStats mshr;
+
+    /** Mean beats accepted per cycle: at most 1.0 for a single-issue
+     *  unit, up to issue_width for a multi-issue one. */
     double
     utilization() const
     {
@@ -108,6 +139,7 @@ struct RtUnitStats
         stall_on_memory += o.stall_on_memory;
         mem.merge(o.mem);
         packet.merge(o.packet);
+        mshr.merge(o.mshr);
         return *this;
     }
 
@@ -187,14 +219,23 @@ class RtUnit : public pipeline::Component
     void popWork(Entry &e);
     void finishRay(Entry &e, const HitRecord &rec);
     void handleResult(const core::DatapathOutput &out);
+    /** Synthetic address and size of a fetch target (the MSHR merge
+     *  key and what the shared L1 is charged for). */
+    void fetchTarget(bool is_leaf, uint32_t index, uint32_t count,
+                     uint64_t *addr, uint32_t *bytes) const;
     unsigned accessLatency(bool is_leaf, uint32_t index,
                            uint32_t count);
-    unsigned fetchLatency(const Entry &e);
+    /** Route one fetch through the MSHR file (when enabled) or
+     *  straight to the L1. @return true when the fetch left the slot
+     *  (allocated or merged); false on MSHR-full or exhausted
+     *  mem-issue bandwidth, leaving the slot in NeedFetch. */
+    bool issueFetch(size_t slot, bool is_leaf, uint32_t index,
+                    uint32_t count, unsigned &issued);
 
     /** True when the packet/wavefront scheduler is active. */
     bool packetized() const { return cfg_.packet.width > 1; }
-    unsigned packetFetchLatency(const PacketTraversal &p);
     void drainCompleted(PacketTraversal &p);
+    void compactPackets();
     void publishPacket();
     void advancePacket();
 
@@ -204,10 +245,25 @@ class RtUnit : public pipeline::Component
     std::unique_ptr<MemoryModel> owned_mem_;
     MemoryModel *mem_ = nullptr; ///< owned_mem_ or the shared override
     bool mem_is_shared_ = false; ///< skip reset, report delta stats
+    MshrFile mshrs_;        ///< outstanding-request file (may be off)
     uint64_t tri_base_ = 0; ///< triangle region base address
+
+    /** Issue lanes: lanes_[0] is the caller's datapath, the rest are
+     *  private replicas (extra_lanes_) built from the same config. */
+    std::vector<core::RayFlexDatapath *> lanes_;
+    std::vector<std::unique_ptr<core::RayFlexDatapath>> extra_lanes_;
+
+    /** Repacking window: cycles a below-threshold packet defers its
+     *  next fetch waiting for a compaction partner to reach a fetch
+     *  boundary, before giving up and continuing alone. Sized to the
+     *  order of one fetch round-trip, so a thinned packet can catch a
+     *  partner that is still waiting on memory. */
+    static constexpr unsigned kCompactWaitCycles = 16;
 
     std::vector<Entry> entries_;   ///< scalar mode (packet.width == 1)
     std::vector<PacketTraversal> packets_; ///< packet mode
+    /** Per-packet repacking-window progress (packet mode). */
+    std::vector<unsigned> compact_hold_;
     std::deque<std::pair<core::Ray, uint32_t>> pending_rays_;
     std::deque<MemRequest> mem_queue_;
     std::vector<HitRecord> results_;
@@ -215,8 +271,24 @@ class RtUnit : public pipeline::Component
     uint64_t now_ = 0;
     RtUnitStats stats_;
 
-    bool drove_input_ = false;
-    size_t issue_entry_ = 0; ///< entry whose beat is offered this cycle
+    /** Per-lane issue bookkeeping, reset each publish(). A lane with
+     *  no offer this cycle holds entry == kNoOffer. */
+    static constexpr size_t kNoOffer = ~size_t(0);
+    struct LaneOffer
+    {
+        size_t entry = kNoOffer; ///< entry (scalar) or packet slot
+        size_t beat = 0;         ///< pending-beat index (packet mode)
+    };
+    std::vector<LaneOffer> offers_;
+    /** Per-lane in-flight beats (packet mode): each accepted beat,
+     *  with its packet slot, in issue order. Lanes are in-order, so
+     *  the front matches the lane's next output. */
+    struct InflightBeat
+    {
+        size_t slot = 0;
+        PacketBeat beat;
+    };
+    std::vector<std::deque<InflightBeat>> lane_inflight_;
 };
 
 } // namespace rayflex::bvh

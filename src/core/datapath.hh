@@ -58,6 +58,14 @@ struct ActivityTrace
  * register the instance's components with a pipeline::Simulator via
  * registerWith(). Outputs appear exactly kPipelineLatency cycles after
  * their input beat is accepted when the pipeline is not back-pressured.
+ *
+ * A multi-issue consumer replicates the lane rather than widening it:
+ * construct N instances from one DatapathConfig (config() hands back
+ * the original, so replicas always match lane 0), register each with
+ * the same Simulator and drive one valid/ready handshake per lane —
+ * the pipeline itself stays one-beat-per-cycle and in order, which is
+ * what lets a lane's consumer match results to inputs positionally.
+ * bvh::RtUnit (RtUnitConfig::issue_width) is the canonical example.
  */
 class RayFlexDatapath
 {

@@ -83,8 +83,13 @@ struct EngineConfig
      *  fetch or the set-associative node cache (rt.cache), and every
      *  worker's unit owns a private model instance, so the cached
      *  backend keeps the determinism contract (each batch warms a cold
-     *  cache of its own). The traversal mode is overridden from
-     *  `any_hit`. */
+     *  cache of its own). rt.issue_width widens the datapath (beats
+     *  per cycle), rt.mshrs bounds the MSHR file over the unit's
+     *  shared L1, and rt.packet configures the wavefront scheduler
+     *  (width, compaction threshold); all three default to the
+     *  single-issue, unbounded, compaction-off schedule bit-for-bit
+     *  and never change hit records. The traversal mode is overridden
+     *  from `any_hit`. */
     bvh::RtUnitConfig rt;
 
     /** Warm-cache batch mode (CycleAccurate model): each worker keeps
@@ -133,7 +138,10 @@ struct EngineReport
      *  sum of simulated cycles across batches - the sequential-machine
      *  cycle count - not wall-clock. `unit.mem` carries the merged
      *  node-cache counters (hits/misses/evictions summed across
-     *  batches; all-zero under the flat-latency backend). */
+     *  batches; all-zero under the flat-latency backend), `unit.mshr`
+     *  the merged MSHR-file counters (all-zero when rt.mshrs == 0)
+     *  and `unit.packet` the wavefront counters, including
+     *  compactions (all-zero in scalar mode). */
     bvh::RtUnitStats unit;
 
     /** Merged traversal counters (Functional model). */

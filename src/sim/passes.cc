@@ -12,6 +12,7 @@
 #include "sim/passes.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace rayflex::sim
 {
@@ -41,6 +42,48 @@ foldPass(PassesReport &rep, const EngineReport &pass)
     rep.elapsed_seconds += pass.elapsed_seconds;
 }
 
+/** Triangle lookup by id. Ids survive the builder's reordering but
+ *  nothing in Bvh4 makes them dense 0..n-1, so the table is sized by
+ *  the maximum id actually present — falling back to a hash map when
+ *  the id space is too sparse for a direct table to be reasonable. */
+class TriById
+{
+  public:
+    explicit TriById(const std::vector<bvh::SceneTriangle> &tris)
+    {
+        uint32_t max_id = 0;
+        for (const bvh::SceneTriangle &t : tris)
+            max_id = std::max(max_id, t.id);
+        // A dense table up to ~8x the triangle count stays cheap; a
+        // sparser id space (e.g. ids minted from a global counter)
+        // switches to the map rather than allocating by max id.
+        if (tris.empty() ||
+            uint64_t(max_id) < 8 * uint64_t(tris.size()) + 1024) {
+            table_.resize(tris.empty() ? 0 : size_t(max_id) + 1,
+                          nullptr);
+            for (const bvh::SceneTriangle &t : tris)
+                table_[t.id] = &t;
+        } else {
+            map_.reserve(tris.size());
+            for (const bvh::SceneTriangle &t : tris)
+                map_.emplace(t.id, &t);
+        }
+    }
+
+    const bvh::SceneTriangle *
+    operator[](uint32_t id) const
+    {
+        if (!table_.empty() || map_.empty())
+            return id < table_.size() ? table_[id] : nullptr;
+        auto it = map_.find(id);
+        return it == map_.end() ? nullptr : it->second;
+    }
+
+  private:
+    std::vector<const bvh::SceneTriangle *> table_;
+    std::unordered_map<uint32_t, const bvh::SceneTriangle *> map_;
+};
+
 } // namespace
 
 PassesReport
@@ -59,10 +102,9 @@ renderPasses(const Engine &engine, const bvh::Bvh4 &bvh,
     rep.primary = engine.run(bvh, primary, false);
     foldPass(rep, rep.primary);
 
-    // Triangle lookup by id (ids survive the builder's reordering).
-    std::vector<const SceneTriangle *> by_id(bvh.tris.size());
-    for (const SceneTriangle &t : bvh.tris)
-        by_id[t.id] = &t;
+    // Triangle lookup by id (ids survive the builder's reordering and
+    // need not be dense).
+    const TriById by_id(bvh.tris);
 
     // ---- shading prologue: surface frames, secondary batches --------
     rep.diffuse.assign(n_px, 0.0f);

@@ -85,7 +85,9 @@ struct PassesReport
     bvh::TraversalStats traversal;
     /** Merged RT-unit counters across all passes (CycleAccurate);
      *  includes the node-cache counters in `unit.mem` when the engine
-     *  runs the cached memory backend. */
+     *  runs the cached memory backend, the MSHR-file counters in
+     *  `unit.mshr` when it bounds one, and the packet/compaction
+     *  counters in `unit.packet` when it packetizes. */
     bvh::RtUnitStats unit;
 
     uint64_t total_rays = 0;

@@ -95,6 +95,52 @@ TEST(CacheStats, MergeIsCommutativeSum)
     EXPECT_EQ(CacheStats{}.hitRate(), 0.0);
 }
 
+TEST(MshrStats, MergeIsCommutativeSum)
+{
+    MshrStats a{5, 2, 7};
+    MshrStats b{1, 9, 3};
+    MshrStats ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab, ba);
+    EXPECT_EQ(ab.allocations, 6u);
+    EXPECT_EQ(ab.merges, 11u);
+    EXPECT_EQ(ab.stalls_full, 10u);
+}
+
+TEST(MshrFile, MergesDuplicatesAndBoundsOutstanding)
+{
+    MshrFile file(2);
+    ASSERT_TRUE(file.enabled());
+    EXPECT_FALSE(file.full());
+    EXPECT_EQ(file.inflightCompletion(128), 0u);
+
+    // Two distinct targets fill the file.
+    file.allocate(128, 30);
+    file.allocate(256, 25);
+    EXPECT_TRUE(file.full());
+    // A duplicate of an in-flight target reports its completion (the
+    // merge the RT unit rides instead of allocating).
+    EXPECT_EQ(file.inflightCompletion(128), 30u);
+    EXPECT_EQ(file.inflightCompletion(256), 25u);
+    EXPECT_EQ(file.inflightCompletion(512), 0u);
+
+    // Retirement frees exactly the entries whose fill completed.
+    file.retire(24);
+    EXPECT_TRUE(file.full());
+    file.retire(25);
+    EXPECT_FALSE(file.full());
+    EXPECT_EQ(file.inflightCompletion(256), 0u);
+    EXPECT_EQ(file.inflightCompletion(128), 30u);
+
+    file.reset();
+    EXPECT_EQ(file.inflightCompletion(128), 0u);
+    EXPECT_FALSE(file.full());
+
+    // Entry count 0 disables the file (the legacy unbounded path).
+    EXPECT_FALSE(MshrFile(0).enabled());
+}
+
 TEST(FixedLatencyMemory, EveryAccessCostsTheConfiguredLatency)
 {
     FixedLatencyMemory mem(20);
@@ -189,20 +235,63 @@ TEST(NodeCache, AccessSpanningLinesTouchesEachLine)
     cfg.sets = 4;
     cfg.ways = 2;
     NodeCache cache(cfg);
+    const unsigned fill = cfg.miss_latency - cfg.hit_latency;
 
-    // [60, 68) straddles lines 0 and 1: two compulsory misses, one
-    // miss-latency access.
-    EXPECT_EQ(cache.access(60, 8), cfg.miss_latency);
+    // [60, 68) straddles lines 0 and 1: two compulsory misses, each
+    // charged its own fill penalty.
+    EXPECT_EQ(cache.access(60, 8), cfg.hit_latency + 2 * fill);
     EXPECT_EQ(cache.stats(), (CacheStats{0, 2, 0}));
 
     // Re-reading the same span hits both lines.
     EXPECT_EQ(cache.access(60, 8), cfg.hit_latency);
     EXPECT_EQ(cache.stats(), (CacheStats{2, 2, 0}));
 
-    // A span with one resident and one new line still pays the miss
-    // latency (any touched-line miss dominates).
-    EXPECT_EQ(cache.access(64, 128), cfg.miss_latency);
+    // A span with one resident and one new line pays exactly one fill
+    // penalty on top of the hit latency.
+    EXPECT_EQ(cache.access(64, 128), cfg.hit_latency + fill);
     EXPECT_EQ(cache.stats(), (CacheStats{3, 3, 0}));
+}
+
+TEST(NodeCache, LatencyIsChargedPerMissedLine)
+{
+    // The hit-rate counters and the latency must agree on what an
+    // access is: a K-line fetch is K line touches, and each missed
+    // line adds one fill penalty. (The old model charged one flat
+    // miss_latency no matter how many of the touched lines missed, so
+    // a 4-line leaf fetch with 4 misses cost the same as one with a
+    // single miss while CacheStats counted 4x the misses.)
+    NodeCacheConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.sets = 8;
+    cfg.ways = 2;
+    cfg.hit_latency = 3;
+    cfg.miss_latency = 21; // fill penalty 18
+    NodeCache cache(cfg);
+
+    // Four fresh lines: 3 + 4*18.
+    EXPECT_EQ(cache.access(0, 256), 75u);
+    EXPECT_EQ(cache.stats(), (CacheStats{0, 4, 0}));
+    // Same span again: pure hit.
+    EXPECT_EQ(cache.access(0, 256), 3u);
+    // Half resident, half fresh: 3 + 2*18.
+    EXPECT_EQ(cache.access(128, 256), 39u);
+    EXPECT_EQ(cache.stats(), (CacheStats{6, 6, 0}));
+
+    // A miss_latency at or below hit_latency degrades to a uniform
+    // hit_latency charge instead of underflowing the fill penalty —
+    // the FixedLatency-equivalence configuration relies on this.
+    NodeCacheConfig uniform = cfg;
+    uniform.miss_latency = uniform.hit_latency;
+    NodeCache flat(uniform);
+    EXPECT_EQ(flat.access(0, 256), uniform.hit_latency);
+    EXPECT_EQ(flat.access(0, 256), uniform.hit_latency);
+
+    // The zero-capacity degenerate keeps the same per-line charge.
+    NodeCacheConfig zero = cfg;
+    zero.ways = 0;
+    NodeCache none(zero);
+    EXPECT_EQ(none.access(0, 256), 75u);
+    EXPECT_EQ(none.access(0, 256), 75u); // nothing becomes resident
 }
 
 TEST(NodeCache, ZeroCapacityDegeneratesToAlwaysMiss)

@@ -88,8 +88,8 @@ packetConfig(unsigned width, unsigned threads = 1,
 
 TEST(PacketStats, MergeIsCommutativeSum)
 {
-    PacketStats a{2, 10, 60, 50, 3, 16, 100};
-    PacketStats b{1, 7, 14, 7, 5, 8, 24};
+    PacketStats a{2, 10, 60, 50, 3, 16, 100, 2, 5};
+    PacketStats b{1, 7, 14, 7, 5, 8, 24, 1, 3};
     PacketStats ab = a, ba = b;
     ab.merge(b);
     ba.merge(a);
@@ -101,6 +101,8 @@ TEST(PacketStats, MergeIsCommutativeSum)
     EXPECT_EQ(ab.divergence_splits, 8u);
     EXPECT_EQ(ab.rays_retired, 24u);
     EXPECT_EQ(ab.occupancy_at_retire, 124u);
+    EXPECT_EQ(ab.compactions, 3u);
+    EXPECT_EQ(ab.lanes_repacked, 8u);
     EXPECT_DOUBLE_EQ(a.avgOccupancy(), 6.0);
     EXPECT_DOUBLE_EQ(a.avgOccupancyAtRetire(), 6.25);
     EXPECT_EQ(PacketStats{}.avgOccupancy(), 0.0);

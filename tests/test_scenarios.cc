@@ -223,6 +223,58 @@ TEST(Scenarios, RenderPassesBitIdenticalAcrossThreadCounts)
     }
 }
 
+TEST(Scenarios, RenderPassesHandlesSparseTriangleIds)
+{
+    // Nothing in Bvh4 makes triangle ids dense 0..n-1 — the id is an
+    // opaque caller tag. renderPasses' shading prologue used to index
+    // a tris.size()-long table with it, writing out of bounds for any
+    // sparse id set. Remap the scenario scene's ids far apart (and
+    // out of order) and require the same per-pixel outputs as the
+    // dense-id run, with every reported triangle_id translated.
+    Bvh4 dense = scenarioScene();
+    sim::PassConfig pcfg = scenarioConfig();
+
+    auto tris = makeTerrain(10.0f, 16, 0.4f, 3);
+    uint32_t id = uint32_t(tris.size());
+    auto sphere = makeSphere({0, 1.5f, 0}, 1.2f, 10, 14, id);
+    tris.insert(tris.end(), sphere.begin(), sphere.end());
+    auto sparse_id = [](uint32_t dense_id) {
+        return 3'000'000'000u - 977u * dense_id;
+    };
+    for (SceneTriangle &t : tris)
+        t.id = sparse_id(t.id);
+    Bvh4 sparse = buildBvh4(std::move(tris));
+
+    sim::EngineConfig ecfg;
+    ecfg.model = sim::ExecutionModel::Functional;
+    ecfg.batch_size = 32;
+    ecfg.threads = 2;
+    sim::Engine engine(ecfg);
+    sim::PassesReport ref = sim::renderPasses(engine, dense, pcfg);
+    sim::PassesReport rep = sim::renderPasses(engine, sparse, pcfg);
+
+    const size_t n_px = size_t(pcfg.camera.width) * pcfg.camera.height;
+    ASSERT_EQ(rep.primary.hits.size(), n_px);
+    size_t n_hit = 0;
+    for (size_t i = 0; i < n_px; ++i) {
+        const HitRecord &a = ref.primary.hits[i];
+        const HitRecord &b = rep.primary.hits[i];
+        ASSERT_EQ(a.hit, b.hit) << i;
+        if (a.hit) {
+            ++n_hit;
+            EXPECT_EQ(sparse_id(a.triangle_id), b.triangle_id) << i;
+            EXPECT_EQ(toBits(a.t), toBits(b.t)) << i;
+        }
+        // The shading prologue resolved the same surface frames, so
+        // every derived per-pixel output matches the dense run.
+        EXPECT_EQ(toBits(rep.diffuse[i]), toBits(ref.diffuse[i])) << i;
+        EXPECT_EQ(rep.lit[i], ref.lit[i]) << i;
+        EXPECT_EQ(toBits(rep.ao_open[i]), toBits(ref.ao_open[i])) << i;
+        EXPECT_EQ(rep.bounce_hits[i].hit, ref.bounce_hits[i].hit) << i;
+    }
+    ASSERT_GT(n_hit, 0u);
+}
+
 TEST(Scenarios, RenderPassesModelsAgree)
 {
     // The cycle-accurate RT unit and the functional traverser take the
