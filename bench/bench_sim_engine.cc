@@ -15,7 +15,10 @@
  * wavefront scheduler (bvh/packet.hh), and the issue-width sweep:
  * rays/cycle per datapath issue width for scalar entries vs 8-wide
  * packets under a bounded MSHR file, the evidence that fetch sharing
- * turns into throughput once the datapath can spend it. The
+ * turns into throughput once the datapath can spend it, and the
+ * unit-scaling sweep: 1..16 lock-stepped RT units over one shared
+ * banked L2 vs equal-total-capacity private L2s, the chip-level
+ * saturation curve the multi-unit mode exists to draw. The
  * thread-count sweep is the
  * scaling evidence for the engine: per-ray results are bit-identical at
  * every point (tests/test_sim_engine.cc), so every column of this
@@ -472,4 +475,75 @@ BENCHMARK(BM_IssueWidthSweep)
     ->Args({1, 1, 1})->Args({2, 1, 1})->Args({4, 1, 1})
     ->Args({8, 1, 1})
     ->Args({1, 8, 0})->Args({4, 8, 0})->Args({8, 8, 0})
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_UnitScalingSweep(benchmark::State &state)
+{
+    // The chip-scaling headline sweep: 1 -> 16 RT units stepping in
+    // lock-step (sim::EngineConfig::chip) over ONE shared banked L2,
+    // against per-unit PRIVATE L2s downsized to the same total
+    // capacity (sets divided by the unit count). Every unit runs the
+    // PR-4/5 configuration that made a single unit memory-efficient —
+    // 8-wide packets, dual issue, a bounded MSHR file, the 4 KiB probe
+    // L1 — so what this sweep adds is purely the chip question: how
+    // does AGGREGATE rays/kcycle scale as units multiply on a fixed
+    // memory system? Shared-L2 throughput must scale sub-linearly
+    // (bank queues and ring hops are the contention the model exists
+    // to price) but stay ABOVE the equal-capacity private baseline
+    // from 4 units up: the shared array holds the working set once
+    // instead of replicating a fragment per unit, and cross-unit
+    // merges absorb duplicate DRAM fills that private L2s each pay
+    // (cross_unit_merges_per_ray > 0 on this coherent camera batch is
+    // an acceptance criterion tests/test_chip.cc also asserts). Hits
+    // are bit-identical to the scalar engine at every point.
+    const unsigned units = unsigned(state.range(0));
+    const bool shared = state.range(1) != 0;
+    const Bvh4 &bvh = benchScene();
+    const std::vector<Ray> rays = benchRays(32);
+
+    sim::EngineConfig cfg;
+    cfg.threads = 1;
+    cfg.batch_size = 0; // one batch: one chip serves the whole sweep
+    cfg.rt.ray_buffer_entries = 32 * 8; // iso-slot: 32 wavefronts
+    cfg.rt.mem_backend = MemBackend::NodeCache;
+    cfg.rt.cache = kProbeCache4KiB;
+    cfg.rt.packet.width = 8;
+    cfg.rt.issue_width = 2;
+    cfg.rt.mshrs = 8;
+    cfg.chip.units = units;
+    cfg.chip.l2 = shared ? sim::L2Mode::Shared : sim::L2Mode::Private;
+    cfg.chip.l2cfg = kProbeL2_128KiB;
+    if (!shared) // iso-capacity: split the shared sets across units
+        cfg.chip.l2cfg.sets =
+            std::max(1u, kProbeL2_128KiB.sets / units);
+
+    sim::EngineReport rep;
+    for (auto _ : state) {
+        rep = sim::Engine(cfg).run(bvh, rays);
+        benchmark::DoNotOptimize(rep.unit.chip_cycles);
+    }
+
+    const double n = double(rays.size());
+    const L2Stats l2 = rep.unit.l2Total();
+    state.counters["rays_per_kcycle"] =
+        1000.0 * n / double(rep.unit.chip_cycles);
+    state.counters["cycles_per_ray"] =
+        double(rep.unit.chip_cycles) / n;
+    state.counters["l2_hit_rate"] = l2.hitRate();
+    state.counters["cross_unit_merges_per_ray"] =
+        double(l2.cross_unit_merges) / n;
+    state.counters["l2_queue_stalls_per_ray"] =
+        double(l2.queue_stalls) / n;
+    state.counters["hops_per_ray"] = double(l2.hops) / n;
+    state.counters["l1_hit_rate"] = rep.unit.mem.hitRate();
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rays.size()));
+}
+BENCHMARK(BM_UnitScalingSweep)
+    ->ArgNames({"units", "shared"})
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
+    ->Args({16, 1})
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0})
+    ->Args({16, 0})
     ->Unit(benchmark::kMillisecond);

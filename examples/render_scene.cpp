@@ -14,7 +14,7 @@
  * image is bit-identical for every value of [threads].
  *
  * Usage: render_scene [width] [height] [scene] [out.ppm] [threads] [ao]
- *                     [cache] [packet] [issue]
+ *                     [cache] [packet] [issue] [chip]
  *   scene: sphere | torus | terrain | mixed (default mixed)
  *   threads: engine workers, 0 = all cores (default 0)
  *   ao: ambient-occlusion rays per hit pixel (default 0 = off)
@@ -36,7 +36,20 @@
  *          and MSHR merges/stalls - the multi-issue datapath turning
  *          packet fetch-sharing into throughput (default 0 = off;
  *          hits and image are unaffected)
+ *   chip: N > 1 = after rendering, re-trace the primary batch on a
+ *          multi-unit chip (sim::EngineConfig::chip): 1 vs N
+ *          lock-stepped RT units behind a shared 128 KiB banked L2,
+ *          and N units with equal-total-capacity PRIVATE L2s, and
+ *          report rays/kcycle, L2 hit rate, cross-unit merges and
+ *          bank-queue stalls - where throughput saturates on a shared
+ *          memory system (default 0 = off; hits and image are
+ *          unaffected)
+ *
+ * Every cycle-accurate probe row reports the same base counter set -
+ * cycles/ray, memory-stall slots/ray, memory requests/ray - so rows
+ * compare across probes, each probe then adding its own specifics.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -87,6 +100,7 @@ main(int argc, char **argv)
     bool cache_probe = argc > 7 && atoi(argv[7]) != 0;
     unsigned packet_probe = argc > 8 ? unsigned(atoi(argv[8])) : 0;
     unsigned issue_probe = argc > 9 ? unsigned(atoi(argv[9])) : 0;
+    unsigned chip_probe = argc > 10 ? unsigned(atoi(argv[10])) : 0;
     if (packet_probe > kMaxPacketWidth) {
         // The RT unit clamps internally; clamp here too so the probe
         // labels match the width that actually simulates.
@@ -98,6 +112,11 @@ main(int argc, char **argv)
         printf("issue probe: width %u clamped to %u\n", issue_probe,
                kMaxIssueWidth);
         issue_probe = kMaxIssueWidth;
+    }
+    if (chip_probe > sim::kMaxChipUnits) {
+        printf("chip probe: %u units clamped to %u\n", chip_probe,
+               sim::kMaxChipUnits);
+        chip_probe = sim::kMaxChipUnits;
     }
 
     auto tris = buildScene(scene_name);
@@ -207,25 +226,35 @@ main(int argc, char **argv)
     ncfg.rt.mem_backend = MemBackend::NodeCache;
     ncfg.rt.cache = kProbeCache4KiB;
     sim::EngineReport cached;
-    if (cache_probe || packet_probe > 1 || issue_probe > 1) {
+    if (cache_probe || packet_probe > 1 || issue_probe > 1 ||
+        chip_probe > 1) {
         primary = RayGen::primaryRays(pcfg.camera, pcfg.t_max);
         cached = sim::Engine(ncfg).run(bvh, primary);
     }
 
+    // Shared base counter set of every probe row: the same three
+    // per-ray numbers in the same order, so rows compare across the
+    // cache/packet/issue/chip probes.
+    const auto probeBase = [](const sim::EngineReport &rep, double n) {
+        printf("%.2f cycles/ray, %.2f mem-stall slots/ray, %.2f "
+               "requests/ray",
+               double(rep.unit.cycles) / n,
+               double(rep.unit.stall_on_memory) / n,
+               double(rep.unit.mem_requests) / n);
+    };
+
     if (cache_probe) {
+        const double n = double(primary.size());
         sim::EngineReport flat =
             sim::Engine(ccfg).run(bvh, primary);
         printf("memory probe (primary batch, cycle-accurate):\n");
-        printf("  flat %u-cycle fetch: %.2f cycles/ray, %llu memory "
-               "stalls\n",
-               ccfg.rt.mem_latency,
-               double(flat.unit.cycles) / double(primary.size()),
-               (unsigned long long)flat.unit.stall_on_memory);
-        printf("  4 KiB node cache:    %.2f cycles/ray, %llu memory "
-               "stalls, %.1f%% hit rate (%llu hits / %llu misses / "
+        printf("  flat %u-cycle fetch: ", ccfg.rt.mem_latency);
+        probeBase(flat, n);
+        printf("\n");
+        printf("  4 KiB node cache:    ");
+        probeBase(cached, n);
+        printf(", %.1f%% hit rate (%llu hits / %llu misses / "
                "%llu evictions)\n",
-               double(cached.unit.cycles) / double(primary.size()),
-               (unsigned long long)cached.unit.stall_on_memory,
                100.0 * cached.unit.mem.hitRate(),
                (unsigned long long)cached.unit.mem.hits,
                (unsigned long long)cached.unit.mem.misses,
@@ -248,14 +277,12 @@ main(int argc, char **argv)
         const PacketStats &ps = packet.unit.packet;
         printf("packet probe (primary batch, cycle-accurate, 4 KiB "
                "node cache):\n");
-        printf("  scalar:          %.2f cycles/ray, %.2f memory "
-               "requests/ray\n",
-               double(cached.unit.cycles) / n,
-               double(cached.unit.mem_requests) / n);
-        printf("  %2u-wide packets: %.2f cycles/ray, %.2f memory "
-               "requests/ray (%.2f fetches/ray shared)\n",
-               packet_probe, double(packet.unit.cycles) / n,
-               double(packet.unit.mem_requests) / n,
+        printf("  scalar:          ");
+        probeBase(cached, n);
+        printf("\n");
+        printf("  %2u-wide packets: ", packet_probe);
+        probeBase(packet, n);
+        printf(" (%.2f fetches/ray shared)\n",
                double(ps.fetches_shared) / n);
         printf("  %llu packets, avg occupancy %.2f/%u per node visit "
                "(%.2f at retirement), %llu divergence splits\n",
@@ -288,16 +315,69 @@ main(int argc, char **argv)
                 }
                 sim::EngineReport rep =
                     sim::Engine(icfg).run(bvh, primary);
-                printf("  %s issue %u: %.2f cycles/ray, %.2f "
-                       "beats/cycle, %.2f requests/ray, %llu MSHR "
-                       "merges, %llu stalls-full\n",
-                       packets ? "packet" : "scalar", iw,
-                       double(rep.unit.cycles) / n,
+                printf("  %s issue %u: ", packets ? "packet" : "scalar",
+                       iw);
+                probeBase(rep, n);
+                printf(", %.2f beats/cycle, %llu MSHR merges, %llu "
+                       "stalls-full\n",
                        rep.unit.utilization(),
-                       double(rep.unit.mem_requests) / n,
                        (unsigned long long)rep.unit.mshr.merges,
                        (unsigned long long)rep.unit.mshr.stalls_full);
             }
+        }
+    }
+
+    if (chip_probe > 1) {
+        // The chip probe: the primary batch on 1 vs N lock-stepped RT
+        // units over a shared 128 KiB banked L2, and N units with
+        // private L2s downsized to the same total capacity. Each unit
+        // runs the packetized configuration (the packet width from
+        // [packet], default 8) under the 4 KiB L1. Same rays, same
+        // hits - the chip knobs move only where the memory system
+        // saturates. One batch per run so a single chip serves the
+        // whole frame.
+        const unsigned pw = packet_probe > 1 ? packet_probe : 8;
+        const double n = double(primary.size());
+        sim::EngineConfig chcfg = ncfg;
+        chcfg.threads = 1;
+        chcfg.batch_size = 0;
+        chcfg.rt.packet.width = pw;
+        chcfg.rt.ray_buffer_entries *= pw;
+        chcfg.rt.mshrs = 8;
+        chcfg.chip.l2cfg = kProbeL2_128KiB;
+
+        struct Row
+        {
+            const char *label;
+            unsigned units;
+            sim::L2Mode l2;
+        };
+        const Row rows[] = {
+            {"1 unit,  shared L2", 1, sim::L2Mode::Shared},
+            {"N units, shared L2", chip_probe, sim::L2Mode::Shared},
+            {"N units, private L2", chip_probe, sim::L2Mode::Private},
+        };
+        printf("chip probe (primary batch, cycle-accurate, %u units, "
+               "4 KiB L1 + 128 KiB L2):\n",
+               chip_probe);
+        for (const Row &row : rows) {
+            sim::EngineConfig rcfg = chcfg;
+            rcfg.chip.units = row.units;
+            rcfg.chip.l2 = row.l2;
+            if (row.l2 == sim::L2Mode::Private)
+                // Iso-capacity: split the shared sets across units.
+                rcfg.chip.l2cfg.sets = std::max(
+                    1u, kProbeL2_128KiB.sets / row.units);
+            sim::EngineReport rep = sim::Engine(rcfg).run(bvh, primary);
+            const L2Stats l2 = rep.unit.l2Total();
+            printf("  %s: ", row.label);
+            probeBase(rep, n);
+            printf(", %.1f rays/kcycle, %.1f%% L2 hit rate, %.2f "
+                   "cross-unit merges/ray, %.2f bank-queue stalls/ray\n",
+                   1000.0 * n / double(rep.unit.chip_cycles),
+                   100.0 * l2.hitRate(),
+                   double(l2.cross_unit_merges) / n,
+                   double(l2.queue_stalls) / n);
         }
     }
     return 0;

@@ -21,15 +21,24 @@ counter) in the current file or the gate fails — so renaming a stable
 benchmark makes CI fail loudly instead of comparing nothing and
 passing.
 
+A single global threshold is the wrong bound for a mixed suite: the
+deterministic cache sweeps barely move between commits (20% would hide
+a real model change) while contended chip sweeps legitimately shift
+more. ``--threshold-for NAME=T`` overrides the global bound per
+benchmark; NAME may end with ``*`` to prefix-match a family (e.g.
+``BM_NodeCacheSceneSweep/*=0.05``), and when several patterns match a
+benchmark the longest (most specific) one wins, with an exact name
+beating any prefix.
+
 Usage:
     bench_compare.py BASELINE.json CURRENT.json
                      [--counter cycles_per_ray] [--threshold 0.20]
-                     [--require NAME]...
+                     [--threshold-for NAME=T]... [--require NAME]...
 
 Exit status: 0 when no tracked counter regressed and every required
 benchmark is present (a run with nothing comparable and no --require
 still passes, with a notice), 1 on regression or missing required
-benchmark, 2 on unreadable input.
+benchmark, 2 on unreadable input or a malformed --threshold-for.
 """
 
 import argparse
@@ -57,6 +66,47 @@ def load_counters(path, counter):
     return out
 
 
+def parse_threshold_overrides(specs):
+    """Parse NAME=T (T a non-negative float) into an ordered list of
+    (pattern, threshold). Malformed specs are a usage error (exit 2):
+    a typo must not silently fall back to the loose global bound."""
+    overrides = []
+    for spec in specs:
+        name, sep, value = spec.rpartition("=")
+        try:
+            if not sep or not name:
+                raise ValueError("expected NAME=T")
+            t = float(value)
+            if t < 0 or t != t:  # negative or NaN
+                raise ValueError("threshold must be >= 0")
+        except ValueError as e:
+            print(f"bench_compare: bad --threshold-for '{spec}': {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        overrides.append((name, t))
+    return overrides
+
+
+def threshold_for(name, overrides, default):
+    """Threshold for one benchmark: the most specific matching
+    override, or the global default. A pattern ending in '*' matches
+    any benchmark it prefixes; longer patterns are more specific, and
+    an exact name outranks every prefix."""
+    best, best_len, best_exact = default, -1, False
+    for pattern, t in overrides:
+        if pattern.endswith("*"):
+            if not name.startswith(pattern[:-1]):
+                continue
+            exact = False
+        elif name == pattern:
+            exact = True
+        else:
+            continue
+        if (exact, len(pattern)) > (best_exact, best_len):
+            best, best_len, best_exact = t, len(pattern), exact
+    return best
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="previous run's benchmark JSON")
@@ -67,6 +117,12 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="fail when current > baseline * (1 + T) "
                          "(default: %(default)s)")
+    ap.add_argument("--threshold-for", action="append", default=[],
+                    metavar="NAME=T", dest="threshold_for",
+                    help="per-benchmark threshold override "
+                         "(repeatable). NAME may end in '*' to "
+                         "prefix-match a family; the longest matching "
+                         "pattern wins, exact names beat prefixes.")
     ap.add_argument("--require", action="append", default=[],
                     metavar="NAME",
                     help="benchmark name that must report the counter "
@@ -75,6 +131,7 @@ def main():
                          "disabling the gate.")
     args = ap.parse_args()
 
+    overrides = parse_threshold_overrides(args.threshold_for)
     base = load_counters(args.baseline, args.counter)
     cur = load_counters(args.current, args.counter)
 
@@ -117,26 +174,27 @@ def main():
           f"current (ratio)")
     for name in common:
         b, c = base[name], cur[name]
+        t = threshold_for(name, overrides, args.threshold)
         ratio = c / b if b > 0 else float("inf") if c > 0 else 1.0
         flag = ""
-        if ratio > 1.0 + args.threshold:
-            regressions.append((name, b, c, ratio))
+        if ratio > 1.0 + t:
+            regressions.append((name, b, c, ratio, t))
             flag = "  << REGRESSION"
         print(f"{name:<{width}}  {b:.4g} -> {c:.4g} "
-              f"({ratio:.3f}x){flag}")
+              f"({ratio:.3f}x, limit {100 * t:.0f}%){flag}")
 
     if regressions:
         print(f"\nbench_compare: {len(regressions)} benchmark(s) "
-              f"regressed '{args.counter}' by more than "
-              f"{100 * args.threshold:.0f}%:", file=sys.stderr)
-        for name, b, c, ratio in regressions:
-            print(f"  {name}: {b:.4g} -> {c:.4g} ({ratio:.3f}x)",
-                  file=sys.stderr)
+              f"regressed '{args.counter}' beyond their threshold:",
+              file=sys.stderr)
+        for name, b, c, ratio, t in regressions:
+            print(f"  {name}: {b:.4g} -> {c:.4g} ({ratio:.3f}x, "
+                  f"limit {100 * t:.0f}%)", file=sys.stderr)
         return 1
     if failed:
         return 1
     print(f"\nbench_compare: OK — {len(common)} benchmark(s) within "
-          f"{100 * args.threshold:.0f}% of baseline")
+          "threshold of baseline")
     return 0
 
 

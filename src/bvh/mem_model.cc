@@ -1,13 +1,15 @@
 /**
  * @file
- * NodeCache implementation.
+ * NodeCache and SharedL2 implementations.
  *
  * Line indexing uses plain division/modulo rather than bit shifts, so
- * line_bytes and sets need not be powers of two; any positive geometry
- * is a valid cache and any zero dimension degenerates to a cache that
- * misses every access without ever holding a line.
+ * line_bytes, sets and banks need not be powers of two; any positive
+ * geometry is a valid cache and any zero dimension degenerates to a
+ * cache that misses every access without ever holding a line.
  */
 #include "bvh/mem_model.hh"
+
+#include <algorithm>
 
 namespace rayflex::bvh
 {
@@ -58,7 +60,7 @@ NodeCache::touchLine(uint64_t line)
 }
 
 unsigned
-NodeCache::access(uint64_t addr, uint32_t bytes)
+NodeCache::access(uint64_t addr, uint32_t bytes, uint64_t now)
 {
     // Per-missed-line charge: hit_latency for the access itself plus
     // one fill penalty per missed line, so the latency agrees with the
@@ -80,14 +82,156 @@ NodeCache::access(uint64_t addr, uint32_t bytes)
                                   addr / cfg_.line_bytes + 1
                             : 1;
         stats_.misses += touched;
+        if (next_)
+            // Everything misses here, so the whole range goes to the
+            // L2 as one fill (it splits into its own lines and takes
+            // the slowest).
+            return cfg_.hit_latency + next_->fill(addr, bytes, now, unit_);
         return cfg_.hit_latency + unsigned(touched) * fill;
     }
     const uint64_t first = addr / cfg_.line_bytes;
     const uint64_t last = (addr + bytes - 1) / cfg_.line_bytes;
+    if (next_) {
+        // Chip mode: missed L1 lines fill in parallel through the L2's
+        // banks, so the access costs the slowest fill, not the sum.
+        unsigned worst = 0;
+        for (uint64_t line = first; line <= last; ++line)
+            if (!touchLine(line))
+                worst = std::max(
+                    worst, next_->fill(line * uint64_t(cfg_.line_bytes),
+                                       cfg_.line_bytes, now, unit_));
+        return cfg_.hit_latency + worst;
+    }
     unsigned missed = 0;
     for (uint64_t line = first; line <= last; ++line)
         missed += touchLine(line) ? 0 : 1;
     return cfg_.hit_latency + missed * fill;
+}
+
+SharedL2::SharedL2(const L2Config &cfg) : cfg_(cfg)
+{
+    const size_t n_banks = cfg_.banks ? cfg_.banks : 1;
+    banks_.resize(n_banks);
+    for (Bank &b : banks_)
+        b.lines.resize(size_t(cfg_.sets) * cfg_.ways);
+    stats_.resize(n_banks);
+}
+
+void
+SharedL2::reset()
+{
+    for (Bank &b : banks_) {
+        b.lines.assign(b.lines.size(), Line{});
+        b.inflight.clear();
+        b.free_at = 0;
+        b.tick = 0;
+    }
+    stats_.assign(stats_.size(), L2Stats{});
+}
+
+L2Stats
+SharedL2::totals() const
+{
+    L2Stats t;
+    for (const L2Stats &s : stats_)
+        t.merge(s);
+    return t;
+}
+
+unsigned
+SharedL2::fillLine(uint64_t line, uint64_t arrival, unsigned unit)
+{
+    const size_t bank_idx = size_t(line % banks_.size());
+    Bank &bank = banks_[bank_idx];
+    L2Stats &st = stats_[bank_idx];
+
+    // Fills whose data has arrived by now are done: their line is in
+    // the array (installed at miss time), so late lookups hit there.
+    std::erase_if(bank.inflight, [arrival](const Inflight &e) {
+        return e.done <= arrival;
+    });
+
+    // An outstanding fill of the same line absorbs this lookup: it
+    // completes when the fill does (never before this request's own
+    // arrival), pays no DRAM access and no bank occupancy.
+    for (const Inflight &e : bank.inflight)
+        if (e.line == line) {
+            ++st.merges;
+            if (e.unit != unit)
+                ++st.cross_unit_merges;
+            return unsigned(std::max(e.done, arrival) - arrival);
+        }
+
+    // Single-server bank queue: service starts when the bank frees.
+    const uint64_t start = std::max(arrival, bank.free_at);
+    st.queue_stalls += start - arrival;
+    bank.free_at = start + cfg_.bank_cycles_per_request;
+
+    if (cfg_.sets == 0 || cfg_.ways == 0) {
+        // Zero-capacity degenerate: every lookup is a DRAM fill and
+        // nothing merges (no line is ever resident or tracked).
+        ++st.misses;
+        return unsigned(start + cfg_.miss_latency - arrival);
+    }
+
+    Line *set =
+        bank.lines.data() + size_t(line % cfg_.sets) * cfg_.ways;
+    ++bank.tick;
+    Line *victim = set;
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+        Line &l = set[w];
+        if (l.valid && l.tag == line) {
+            l.last_used = bank.tick;
+            ++st.hits;
+            return unsigned(start + cfg_.hit_latency - arrival);
+        }
+        // Same victim preference as NodeCache: first invalid way, else
+        // least recently used, ties toward the lowest way index.
+        if (!victim->valid)
+            continue;
+        if (!l.valid || l.last_used < victim->last_used)
+            victim = &l;
+    }
+
+    ++st.misses;
+    victim->tag = line;
+    victim->last_used = bank.tick;
+    victim->valid = true;
+    const uint64_t done = start + cfg_.miss_latency;
+    bank.inflight.push_back({line, done, unit});
+    return unsigned(done - arrival);
+}
+
+unsigned
+SharedL2::fill(uint64_t addr, uint32_t bytes, uint64_t now,
+               unsigned unit)
+{
+    if (bytes == 0)
+        bytes = 1;
+    // Unaddressable lines: the whole range is one DRAM-class fill keyed
+    // by its base address.
+    const uint64_t first =
+        cfg_.line_bytes ? addr / cfg_.line_bytes : addr;
+    const uint64_t last =
+        cfg_.line_bytes ? (addr + bytes - 1) / cfg_.line_bytes : addr;
+
+    const size_t n_banks = banks_.size();
+    const size_t stop = size_t(unit) % n_banks; ///< unit's ring stop
+    unsigned worst = 0;
+    for (uint64_t line = first; line <= last; ++line) {
+        // Ring distance between the unit's stop and the line's bank,
+        // paid in hop_latency cycles on the request AND response path.
+        const size_t bank_idx = size_t(line % n_banks);
+        const size_t d = stop > bank_idx ? stop - bank_idx
+                                         : bank_idx - stop;
+        const size_t hops = std::min(d, n_banks - d);
+        stats_[bank_idx].hops += 2 * hops;
+        const uint64_t ride = uint64_t(hops) * cfg_.hop_latency;
+        const uint64_t arrival = now + ride;
+        const unsigned at_bank = fillLine(line, arrival, unit);
+        worst = std::max(worst, unsigned(ride + at_bank + ride));
+    }
+    return worst;
 }
 
 std::unique_ptr<MemoryModel>

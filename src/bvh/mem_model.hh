@@ -25,6 +25,18 @@
  * requesters, which is what makes the contention visible in the
  * timing instead of every slot enjoying a private stream.
  *
+ * The memory path has a second tier. SharedL2 is the chip-level cache
+ * BEHIND the per-unit L1s (sim::EngineConfig::chip): a banked,
+ * set-associative LRU cache, address-interleaved by L2 line, with a
+ * per-bank service queue, a ring hop-latency model between units and
+ * banks, and an MSHR-style in-flight merge so two UNITS filling the
+ * same line pay one DRAM miss — the cross-unit analogue of the
+ * per-unit MshrFile merge. An L1 with an attached next level
+ * (MemoryModel::attachNextLevel) routes every missed line through
+ * SharedL2::fill instead of charging its flat miss penalty; with no
+ * next level attached (the default), every backend terminates at its
+ * own latency, bit-for-bit the pre-chip behavior.
+ *
  * Addresses are synthetic but stable: nodes and triangles live at
  * fixed strides in a flat address space (see kNodeStrideBytes /
  * kTriStrideBytes and RtUnit's address map), so cache behavior depends
@@ -195,6 +207,160 @@ class MshrFile
     std::vector<Entry> inflight_;
 };
 
+/** Per-run counters of one SharedL2 bank (or of a whole L2 when the
+ *  per-bank vectors are summed). All fields are sums of uint64 counts,
+ *  so merging is commutative and associative like the rest of the
+ *  stats structs — chip batches aggregate bank-by-bank in any order. */
+struct L2Stats
+{
+    uint64_t hits = 0;   ///< line lookups served from the L2 array
+    uint64_t misses = 0; ///< line fills that went to DRAM
+    uint64_t merges = 0; ///< lookups folded onto an in-flight fill
+    /** Subset of `merges` where the requesting unit differs from the
+     *  unit whose miss started the fill — two units walking the same
+     *  subtree paying one DRAM miss. */
+    uint64_t cross_unit_merges = 0;
+    uint64_t queue_stalls = 0; ///< cycles requests waited on a busy bank
+    uint64_t hops = 0;         ///< interconnect hops (request + response)
+
+    /** Fraction of line lookups that avoided DRAM (array hits plus
+     *  in-flight merges); 0 when nothing was accessed. */
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits + misses + merges;
+        return total ? double(hits + merges) / double(total) : 0.0;
+    }
+
+    L2Stats &
+    merge(const L2Stats &o)
+    {
+        hits += o.hits;
+        misses += o.misses;
+        merges += o.merges;
+        cross_unit_merges += o.cross_unit_merges;
+        queue_stalls += o.queue_stalls;
+        hops += o.hops;
+        return *this;
+    }
+
+    friend bool operator==(const L2Stats &, const L2Stats &) = default;
+};
+
+/** Geometry and timing of the chip-level SharedL2 tier. */
+struct L2Config
+{
+    uint32_t line_bytes = 64; ///< bytes per L2 line
+    uint32_t banks = 4;       ///< address-interleaved banks (by line)
+    uint32_t sets = 128;      ///< sets PER BANK
+    uint32_t ways = 8;        ///< lines per set
+    /** Cycles from bank service start to data for a resident line. */
+    unsigned hit_latency = 8;
+    /** Cycles from bank service start to data for a DRAM fill. */
+    unsigned miss_latency = 80;
+    /** Cycles per interconnect hop between a unit's ring stop and a
+     *  bank's; charged on both the request and the response path. */
+    unsigned hop_latency = 1;
+    /** Bank occupancy per serviced request: a bank accepts a new
+     *  request at most once every this many cycles; later arrivals
+     *  queue (L2Stats::queue_stalls counts the waited cycles). */
+    unsigned bank_cycles_per_request = 1;
+
+    /** Total capacity across all banks; 0 for any degenerate
+     *  dimension (a zero-capacity L2 is legal: every fill misses). */
+    uint64_t
+    capacityBytes() const
+    {
+        return uint64_t(line_bytes) * banks * sets * ways;
+    }
+
+    friend bool operator==(const L2Config &, const L2Config &) = default;
+};
+
+/** The canonical probe L2 shared by BM_UnitScalingSweep, the
+ *  render_scene chip probe and the chip tests: 128 KiB as 4 banks x
+ *  64 sets x 8 ways x 64-byte lines, default timings. Sized so the
+ *  bench scene's working set thrashes a per-unit 4 KiB L1 but largely
+ *  fits the L2 — the regime where sharing wins. */
+inline constexpr L2Config kProbeL2_128KiB{
+    /*line_bytes=*/64, /*banks=*/4, /*sets=*/64, /*ways=*/8};
+
+/**
+ * Chip-level banked cache behind the per-unit L1s.
+ *
+ * Address-interleaved by L2 line across `banks` banks, each bank a
+ * set-associative LRU array (same deterministic lowest-way tie-break
+ * as NodeCache) with a single-server service queue. Units and banks
+ * sit on a ring: a request from unit u to bank b pays
+ * min(|u%B - b|, B - |u%B - b|) hops each way at hop_latency cycles
+ * per hop. A fill that misses the array goes to DRAM and is recorded
+ * in-flight; a second lookup of the same line while the fill is
+ * outstanding MERGES onto it (completing no earlier than the fill,
+ * paying no DRAM access and no bank occupancy) — when the two
+ * requesters are different units that is a cross_unit_merge, the
+ * chip-level analogue of the MshrFile merge.
+ *
+ * The model is a pure function of the (addr, bytes, now, unit) call
+ * sequence — no clocks of its own, no host pointers — so a chip of
+ * units stepping in deterministic lock-step over one SharedL2 inherits
+ * the engine's bit-identical-across-worker-counts contract.
+ */
+class SharedL2
+{
+  public:
+    explicit SharedL2(const L2Config &cfg);
+
+    /** Latency in cycles, from `now`, of filling the `bytes`-byte range
+     *  at `addr` on behalf of `unit`. Touched L2 lines fill in parallel
+     *  across their banks; the returned latency is the slowest line's
+     *  (max, not sum), each including both interconnect directions. */
+    unsigned fill(uint64_t addr, uint32_t bytes, uint64_t now,
+                  unsigned unit);
+
+    /** Per-bank counters accumulated since construction or reset(). */
+    const std::vector<L2Stats> &bankStats() const { return stats_; }
+
+    /** Sum of the per-bank counters. */
+    L2Stats totals() const;
+
+    /** Drop all cached state and counters. */
+    void reset();
+
+    const L2Config &config() const { return cfg_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;       ///< full line index (addr / line_bytes)
+        uint64_t last_used = 0; ///< LRU clock value of the last touch
+        bool valid = false;
+    };
+
+    /** One outstanding DRAM fill. */
+    struct Inflight
+    {
+        uint64_t line = 0;
+        uint64_t done = 0; ///< cycle the fill data arrives at the bank
+        unsigned unit = 0; ///< unit whose miss started the fill
+    };
+
+    struct Bank
+    {
+        std::vector<Line> lines; ///< sets * ways, set-major
+        std::vector<Inflight> inflight;
+        uint64_t free_at = 0; ///< next cycle the bank can start service
+        uint64_t tick = 0;    ///< LRU clock
+    };
+
+    /** Fill one line; @return cycles from `arrival` (at the bank) to
+     *  data at the bank, excluding interconnect. */
+    unsigned fillLine(uint64_t line, uint64_t arrival, unsigned unit);
+
+    L2Config cfg_;
+    std::vector<Bank> banks_;
+    std::vector<L2Stats> stats_; ///< one entry per bank
+};
+
 /** Which MemoryModel backend an RT unit instantiates. */
 enum class MemBackend : uint8_t {
     /** Flat per-fetch latency (RtUnitConfig::mem_latency); the
@@ -250,9 +416,31 @@ class MemoryModel
   public:
     virtual ~MemoryModel() = default;
 
-    /** Latency in cycles of fetching the `bytes`-byte object at `addr`.
-     *  Called once per RT-unit fetch, in traversal order. */
-    virtual unsigned access(uint64_t addr, uint32_t bytes) = 0;
+    /** Latency in cycles of fetching the `bytes`-byte object at `addr`
+     *  when the request is issued at cycle `now`. Called once per
+     *  RT-unit fetch, in traversal order. Backends without an attached
+     *  next level are pure functions of (addr, bytes) and ignore
+     *  `now`; with a SharedL2 attached, `now` anchors bank queueing
+     *  and in-flight merges on the chip clock. */
+    virtual unsigned access(uint64_t addr, uint32_t bytes,
+                            uint64_t now) = 0;
+
+    /** Convenience for callers without a clock (tests, probes):
+     *  equivalent to access(addr, bytes, 0). */
+    unsigned access(uint64_t addr, uint32_t bytes)
+    {
+        return access(addr, bytes, 0);
+    }
+
+    /** Route this L1's misses through a chip-level `l2` on behalf of
+     *  `unit` (sim::Engine chip mode). Default: no second tier;
+     *  backends that terminate at their own latency ignore the call.
+     *  Pass nullptr to detach. The L2 is borrowed, not owned. */
+    virtual void attachNextLevel(SharedL2 *l2, unsigned unit)
+    {
+        (void)l2;
+        (void)unit;
+    }
 
     /** Counters accumulated since construction or the last reset().
      *  Backends without cache state report all-zero stats. */
@@ -262,13 +450,19 @@ class MemoryModel
     virtual void reset() {}
 };
 
-/** The original flat-latency backend: every access costs the same. */
+/** The original flat-latency backend: every access costs the same.
+ *  The flat latency stands in for the whole memory system, so an
+ *  attached next level is ignored (attachNextLevel's default). */
 class FixedLatencyMemory final : public MemoryModel
 {
   public:
     explicit FixedLatencyMemory(unsigned latency) : latency_(latency) {}
 
-    unsigned access(uint64_t, uint32_t) override { return latency_; }
+    using MemoryModel::access;
+    unsigned access(uint64_t, uint32_t, uint64_t) override
+    {
+        return latency_;
+    }
 
   private:
     unsigned latency_;
@@ -285,13 +479,25 @@ class FixedLatencyMemory final : public MemoryModel
  * happen as part of the access, so a revisit hits. Replacement is
  * least-recently-used with a deterministic tie-break (lowest way), so
  * the model is a pure function of the access sequence.
+ *
+ * With a SharedL2 attached (chip mode) the flat per-line fill penalty
+ * is replaced by the L2's answer: the access costs hit_latency plus
+ * the slowest missed line's SharedL2::fill latency (missed lines fill
+ * in parallel through their banks). Hit/miss/eviction accounting is
+ * unchanged, so CacheStats means the same thing in both modes.
  */
 class NodeCache final : public MemoryModel
 {
   public:
     explicit NodeCache(const NodeCacheConfig &cfg);
 
-    unsigned access(uint64_t addr, uint32_t bytes) override;
+    using MemoryModel::access;
+    unsigned access(uint64_t addr, uint32_t bytes, uint64_t now) override;
+    void attachNextLevel(SharedL2 *l2, unsigned unit) override
+    {
+        next_ = l2;
+        unit_ = unit;
+    }
     CacheStats stats() const override { return stats_; }
     void reset() override;
 
@@ -312,6 +518,8 @@ class NodeCache final : public MemoryModel
     std::vector<Line> lines_; ///< sets * ways, set-major
     uint64_t tick_ = 0;       ///< LRU clock
     CacheStats stats_;
+    SharedL2 *next_ = nullptr; ///< borrowed chip-level tier, if any
+    unsigned unit_ = 0;        ///< this L1's unit id on the ring
 };
 
 /** Instantiate the backend an RtUnitConfig selects. */

@@ -110,14 +110,17 @@ RtUnit::fetchTarget(bool is_leaf, uint32_t index, uint32_t count,
     }
 }
 
-/** Latency of one fetch against the shared L1. */
+/** Latency of one fetch against the shared L1. The current cycle rides
+ *  along so a chip-mode L1 can anchor its SharedL2 requests (bank
+ *  queues, in-flight merges) on the lock-step chip clock; single-unit
+ *  backends ignore it. */
 unsigned
 RtUnit::accessLatency(bool is_leaf, uint32_t index, uint32_t count)
 {
     uint64_t addr;
     uint32_t bytes;
     fetchTarget(is_leaf, index, count, &addr, &bytes);
-    return mem_->access(addr, bytes);
+    return mem_->access(addr, bytes, now_);
 }
 
 /** Route one slot's fetch to memory: straight to the L1 when the MSHR
@@ -520,6 +523,14 @@ RtUnit::advancePacket()
 void
 RtUnit::advance(uint64_t cycle)
 {
+    // A finished unit idles: in chip mode the shared simulator keeps
+    // ticking until the slowest unit drains, and a done unit must stop
+    // accumulating cycles/idle-slot counters (its per-unit `cycles` is
+    // the cycle its own rays completed). Unreachable under run(),
+    // whose loop stops at outstanding_ == 0 — single-unit schedules
+    // are bit-for-bit unaffected.
+    if (outstanding_ == 0 && pending_rays_.empty())
+        return;
     now_ = cycle;
     ++stats_.cycles;
 
@@ -625,28 +636,47 @@ RtUnit::advance(uint64_t cycle)
     }
 }
 
-RtUnitStats
-RtUnit::run(uint64_t max_cycles)
+void
+RtUnit::registerWith(pipeline::Simulator &sim)
 {
-    pipeline::Simulator sim;
     for (core::RayFlexDatapath *lane : lanes_)
         lane->registerWith(sim);
     sim.add(this);
+}
+
+void
+RtUnit::beginRun()
+{
     stats_ = {};
     mshrs_.reset();
     for (auto &q : lane_inflight_)
         q.clear();
-    CacheStats mem_before;
     if (mem_is_shared_)
-        mem_before = mem_->stats(); // warm: keep contents, report delta
-    else
+        mem_before_ = mem_->stats(); // warm: keep contents, report delta
+    else {
+        mem_before_ = {};
         mem_->reset(); // cold cache per run: runs are reproducible
-    while (outstanding_ > 0 && stats_.cycles < max_cycles)
-        sim.tick();
-    stats_.mem = mem_->stats().deltaSince(mem_before);
+    }
+}
+
+RtUnitStats
+RtUnit::endRun()
+{
+    stats_.mem = mem_->stats().deltaSince(mem_before_);
     if (outstanding_ > 0)
         throw std::runtime_error("RtUnit::run: rays did not complete");
     return stats_;
+}
+
+RtUnitStats
+RtUnit::run(uint64_t max_cycles)
+{
+    pipeline::Simulator sim;
+    registerWith(sim);
+    beginRun();
+    while (outstanding_ > 0 && stats_.cycles < max_cycles)
+        sim.tick();
+    return endRun();
 }
 
 } // namespace rayflex::bvh

@@ -116,6 +116,28 @@ struct RtUnitStats
      *  (mshrs == 0). Same commutative-sum merge contract. */
     MshrStats mshr;
 
+    /** Chip wall-clock cycles (sim::Engine chip mode): lock-step ticks
+     *  of the whole chip, summed across batches. Unlike `cycles` (which
+     *  every unit accumulates until its OWN rays complete), one chip
+     *  tick counts once however many units it steps. 0 outside chip
+     *  mode. */
+    uint64_t chip_cycles = 0;
+
+    /** Per-bank SharedL2 counters (chip mode); empty otherwise. Merges
+     *  bank-by-bank (elementwise, shorter vector zero-extended), so
+     *  the commutative-sum contract extends to the bank breakdown. */
+    std::vector<L2Stats> l2_banks;
+
+    /** Sum of the per-bank L2 counters. */
+    L2Stats
+    l2Total() const
+    {
+        L2Stats t;
+        for (const L2Stats &b : l2_banks)
+            t.merge(b);
+        return t;
+    }
+
     /** Mean beats accepted per cycle: at most 1.0 for a single-issue
      *  unit, up to issue_width for a multi-issue one. */
     double
@@ -125,9 +147,10 @@ struct RtUnitStats
     }
 
     /** Accumulate another run's counters. Every field is a sum of
-     *  uint64 counts, so merging is commutative and associative: an
-     *  aggregate over many batches is identical no matter which worker
-     *  ran which batch or in what order the merges happen. */
+     *  uint64 counts (the bank vector sums elementwise), so merging is
+     *  commutative and associative: an aggregate over many batches is
+     *  identical no matter which worker ran which batch or in what
+     *  order the merges happen. */
     RtUnitStats &
     merge(const RtUnitStats &o)
     {
@@ -140,6 +163,11 @@ struct RtUnitStats
         mem.merge(o.mem);
         packet.merge(o.packet);
         mshr.merge(o.mshr);
+        chip_cycles += o.chip_cycles;
+        if (l2_banks.size() < o.l2_banks.size())
+            l2_banks.resize(o.l2_banks.size());
+        for (size_t b = 0; b < o.l2_banks.size(); ++b)
+            l2_banks[b].merge(o.l2_banks[b]);
         return *this;
     }
 
@@ -166,9 +194,34 @@ class RtUnit : public pipeline::Component
     /** Queue a ray for traversal; results appear in results(). */
     void submit(const core::Ray &ray, uint32_t ray_id);
 
+    /** Route this unit's L1 misses through a chip-level shared L2 as
+     *  unit `unit_id` on the ring (sim::Engine chip mode). Forwards to
+     *  MemoryModel::attachNextLevel; backends without a second-tier
+     *  path (FixedLatency) ignore it. Call before run()/beginRun(). */
+    void
+    attachSharedL2(SharedL2 *l2, unsigned unit_id)
+    {
+        mem_->attachNextLevel(l2, unit_id);
+    }
+
     /** Run the unit until all submitted rays complete.
      *  @return statistics for the run. */
     RtUnitStats run(uint64_t max_cycles = 100000000ull);
+
+    /**
+     * Lock-step chip API: run() decomposed so N units can share one
+     * pipeline::Simulator and tick together over a shared L2.
+     * registerWith() registers the unit's lanes and the unit itself;
+     * beginRun() resets per-run state (run()'s preamble); done() is
+     * true when every submitted ray completed; endRun() finalizes and
+     * returns the stats (run()'s postamble — throws if rays remain).
+     * run() itself is exactly registerWith + beginRun + tick-until-done
+     * + endRun on a private simulator.
+     */
+    void registerWith(pipeline::Simulator &sim);
+    void beginRun();
+    bool done() const { return outstanding_ == 0; }
+    RtUnitStats endRun();
 
     /** Results in ray-id order (parallel to submissions). In
      *  TraversalMode::Any only the `hit` flag is meaningful. */
@@ -270,6 +323,8 @@ class RtUnit : public pipeline::Component
     size_t outstanding_ = 0;
     uint64_t now_ = 0;
     RtUnitStats stats_;
+    /** L1 snapshot at beginRun (shared/warm models report deltas). */
+    CacheStats mem_before_;
 
     /** Per-lane issue bookkeeping, reset each publish(). A lane with
      *  no offer this cycle holds entry == kNoOffer. */

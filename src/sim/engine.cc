@@ -18,6 +18,7 @@
  */
 #include "sim/engine.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -41,6 +42,108 @@ struct WorkerTally
     bvh::RtUnitStats unit;
     bvh::TraversalStats traversal;
 };
+
+/**
+ * Simulate one batch on a chip of lock-stepped RT units
+ * (EngineConfig::chip). Batch ray i goes to unit i % units with local
+ * id i / units; all units (and their datapath lanes) register with ONE
+ * pipeline::Simulator and tick together until the slowest drains, so
+ * their SharedL2 requests interleave on a common chip clock. The chip
+ * is freshly constructed here, per batch: sharing never crosses a
+ * batch boundary, which is what keeps the engine's determinism
+ * contract intact at every worker count.
+ *
+ * @return the units' merged stats, plus the chip-level fields:
+ *         chip_cycles (this batch's lock-step ticks) and l2_banks
+ *         (the shared L2's per-bank counters, or the per-unit private
+ *         L2s' counters summed bank-by-bank).
+ */
+bvh::RtUnitStats
+runChipBatch(const bvh::Bvh4 &bvh, const bvh::RtUnitConfig &rt_cfg,
+             const core::DatapathConfig &dp_cfg, const ChipConfig &chip,
+             uint64_t max_cycles, const std::vector<core::Ray> &rays,
+             core::BatchRange r, std::vector<bvh::HitRecord> &hits_out)
+{
+    const unsigned units = std::clamp(chip.units, 1u, kMaxChipUnits);
+
+    std::vector<std::unique_ptr<core::RayFlexDatapath>> dps;
+    std::vector<std::unique_ptr<bvh::RtUnit>> us;
+    dps.reserve(units);
+    us.reserve(units);
+    for (unsigned u = 0; u < units; ++u) {
+        dps.push_back(std::make_unique<core::RayFlexDatapath>(dp_cfg));
+        us.push_back(
+            std::make_unique<bvh::RtUnit>(bvh, *dps[u], rt_cfg));
+    }
+
+    std::unique_ptr<bvh::SharedL2> shared;
+    std::vector<std::unique_ptr<bvh::SharedL2>> priv;
+    if (chip.l2 == L2Mode::Shared) {
+        shared = std::make_unique<bvh::SharedL2>(chip.l2cfg);
+        for (unsigned u = 0; u < units; ++u)
+            us[u]->attachSharedL2(shared.get(), u);
+    } else if (chip.l2 == L2Mode::Private) {
+        priv.reserve(units);
+        for (unsigned u = 0; u < units; ++u) {
+            priv.push_back(std::make_unique<bvh::SharedL2>(chip.l2cfg));
+            // Every unit sits at ring stop 0 of its own private L2:
+            // no interconnect sharing to model.
+            us[u]->attachSharedL2(priv[u].get(), 0);
+        }
+    }
+
+    // Round-robin distribution: adjacent (typically coherent) rays
+    // land on different units, which is what gives a shared L2
+    // cross-unit merges to find. Each unit's local ids stay dense, so
+    // results() is parallel to its submissions as usual.
+    for (size_t i = r.begin; i < r.end; ++i) {
+        const size_t k = i - r.begin;
+        us[k % units]->submit(rays[i], uint32_t(k / units));
+    }
+
+    pipeline::Simulator sim;
+    for (auto &u : us)
+        u->registerWith(sim);
+    for (auto &u : us)
+        u->beginRun();
+
+    const auto all_done = [&us] {
+        for (const auto &u : us)
+            if (!u->done())
+                return false;
+        return true;
+    };
+    uint64_t ticks = 0;
+    while (!all_done() && ticks < max_cycles) {
+        sim.tick();
+        ++ticks;
+    }
+    if (!all_done())
+        throw std::runtime_error(
+            "Engine: chip batch exceeded max_cycles_per_batch");
+
+    bvh::RtUnitStats merged;
+    for (auto &u : us)
+        merged.merge(u->endRun());
+    merged.chip_cycles = ticks;
+    if (shared) {
+        merged.l2_banks = shared->bankStats();
+    } else {
+        for (const auto &p : priv) {
+            const std::vector<bvh::L2Stats> &bs = p->bankStats();
+            if (merged.l2_banks.size() < bs.size())
+                merged.l2_banks.resize(bs.size());
+            for (size_t b = 0; b < bs.size(); ++b)
+                merged.l2_banks[b].merge(bs[b]);
+        }
+    }
+
+    for (size_t i = r.begin; i < r.end; ++i) {
+        const size_t k = i - r.begin;
+        hits_out[i] = us[k % units]->results()[k / units];
+    }
+    return merged;
+}
 
 } // namespace
 
@@ -148,6 +251,13 @@ EngineReport
 Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
             bool any_hit) const
 {
+    const bool chip_active = cfg_.model == ExecutionModel::CycleAccurate &&
+                             cfg_.chip.active();
+    if (chip_active && cfg_.warm_cache)
+        throw std::invalid_argument(
+            "Engine: warm_cache and chip mode are mutually exclusive "
+            "(chip batches run cold by construction)");
+
     EngineReport report;
     report.hits.resize(rays.size());
 
@@ -196,7 +306,12 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
             for (size_t bi = next_batch.fetch_add(1);
                  bi < batches.size(); bi = next_batch.fetch_add(1)) {
                 const core::BatchRange r = batches[bi];
-                if (cfg_.model == ExecutionModel::CycleAccurate) {
+                if (chip_active) {
+                    tallies[wid].unit.merge(runChipBatch(
+                        bvh, rt_cfg, cfg_.dp, cfg_.chip,
+                        cfg_.max_cycles_per_batch, rays, r,
+                        report.hits));
+                } else if (cfg_.model == ExecutionModel::CycleAccurate) {
                     core::RayFlexDatapath dp(cfg_.dp);
                     bvh::RtUnit unit(bvh, dp, rt_cfg,
                                      warm ? warm_mems_[wid].get()

@@ -56,6 +56,53 @@ enum class ExecutionModel : uint8_t {
     Functional,
 };
 
+/** What backs the chip's per-unit L1s in chip mode. */
+enum class L2Mode : uint8_t {
+    /** No second tier: every unit's L1 terminates at its own latency
+     *  (the pre-chip memory path, bit-for-bit at units == 1). */
+    Off,
+    /** One bvh::SharedL2 serves every unit in the batch: units contend
+     *  for banks and merge cross-unit fills — the chip the tentpole
+     *  models. */
+    Shared,
+    /** One private SharedL2 per unit (no contention, no cross-unit
+     *  merges): the iso-capacity baseline BM_UnitScalingSweep compares
+     *  sharing against. Callers wanting equal total capacity divide
+     *  l2cfg.sets by the unit count themselves. */
+    Private,
+};
+
+/** Most units a chip batch may step in lock-step. */
+inline constexpr unsigned kMaxChipUnits = 16;
+
+/** Multi-unit chip mode (CycleAccurate model). Each batch is run by
+ *  `units` RT units stepping in deterministic lock-step under one
+ *  pipeline::Simulator: ray i of the batch goes to unit i % units.
+ *  The chip is freshly constructed per batch, so sharing is confined
+ *  within a batch and the engine's bit-identical-at-every-worker-count
+ *  contract holds for hits, timing and every L2 counter. */
+struct ChipConfig
+{
+    /** RT units per chip, clamped to 1..kMaxChipUnits. */
+    unsigned units = 1;
+
+    /** Second memory tier behind the per-unit L1s. Only the NodeCache
+     *  L1 backend routes misses to it; FixedLatency ignores the tier
+     *  (its flat latency already stands in for the whole system). */
+    L2Mode l2 = L2Mode::Off;
+
+    /** Geometry and timing of the L2 tier (Shared and Private). */
+    bvh::L2Config l2cfg;
+
+    /** True when this config changes anything over the single-unit
+     *  engine path (the defaults leave chip mode off). */
+    bool
+    active() const
+    {
+        return units > 1 || l2 != L2Mode::Off;
+    }
+};
+
 /** Engine configuration. */
 struct EngineConfig
 {
@@ -113,6 +160,18 @@ struct EngineConfig
      *  Engine::resetWarmCaches(). */
     bool warm_cache = false;
 
+    /** Multi-unit chip mode (CycleAccurate model). Inactive by default
+     *  (units == 1, L2 off): the engine then runs the single-unit path
+     *  bit-for-bit. When active, each batch is simulated by a chip of
+     *  `chip.units` lock-stepped RT units over the configured L2 tier;
+     *  hit records stay bit-identical to the scalar engine in every
+     *  chip configuration (memory timing never changes intersection
+     *  results). Mutually exclusive with warm_cache (chip batches run
+     *  cold by construction — run() throws std::invalid_argument on
+     *  the combination). Ignored by the Functional model, which has no
+     *  memory system to share. */
+    ChipConfig chip;
+
     /** Per-worker datapath configuration (CycleAccurate model). */
     core::DatapathConfig dp = core::kBaselineUnified;
 
@@ -141,7 +200,10 @@ struct EngineReport
      *  batches; all-zero under the flat-latency backend), `unit.mshr`
      *  the merged MSHR-file counters (all-zero when rt.mshrs == 0)
      *  and `unit.packet` the wavefront counters, including
-     *  compactions (all-zero in scalar mode). */
+     *  compactions (all-zero in scalar mode). Chip mode adds
+     *  `unit.chip_cycles` (lock-step chip ticks summed over batches)
+     *  and `unit.l2_banks` (per-bank L2 counters, merged bank-by-bank
+     *  across batches); both stay zero/empty when chip is inactive. */
     bvh::RtUnitStats unit;
 
     /** Merged traversal counters (Functional model). */
