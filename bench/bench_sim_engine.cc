@@ -18,7 +18,12 @@
  * turns into throughput once the datapath can spend it, and the
  * unit-scaling sweep: 1..16 lock-stepped RT units over one shared
  * banked L2 vs equal-total-capacity private L2s, the chip-level
- * saturation curve the multi-unit mode exists to draw. The
+ * saturation curve the multi-unit mode exists to draw, and the
+ * streaming mix sweep: a large frame job sharing the machine with
+ * staggered small probe jobs through sim::StreamingService, cross-job
+ * batch packing vs the head-of-line-blocking baseline, reporting the
+ * small jobs' simulated p50/p99 latency and the cross-job fetch-share
+ * rate. The
  * thread-count sweep is the
  * scaling evidence for the engine: per-ray results are bit-identical at
  * every point (tests/test_sim_engine.cc), so every column of this
@@ -26,11 +31,13 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 
 #include "bvh/scene.hh"
 #include "core/raygen.hh"
 #include "sim/passes.hh"
+#include "sim/stream.hh"
 
 using namespace rayflex;
 using namespace rayflex::bvh;
@@ -513,10 +520,10 @@ BM_UnitScalingSweep(benchmark::State &state)
     cfg.rt.mshrs = 8;
     cfg.chip.units = units;
     cfg.chip.l2 = shared ? sim::L2Mode::Shared : sim::L2Mode::Private;
-    cfg.chip.l2cfg = kProbeL2_128KiB;
-    if (!shared) // iso-capacity: split the shared sets across units
-        cfg.chip.l2cfg.sets =
-            std::max(1u, kProbeL2_128KiB.sets / units);
+    // iso-capacity: split the shared geometry evenly across units
+    // (throws rather than truncate, so the baseline stays honest)
+    cfg.chip.l2cfg = shared ? kProbeL2_128KiB
+                            : kProbeL2_128KiB.dividedAcross(units);
 
     sim::EngineReport rep;
     for (auto _ : state) {
@@ -546,4 +553,79 @@ BENCHMARK(BM_UnitScalingSweep)
     ->Args({16, 1})
     ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0})
     ->Args({16, 0})
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_StreamingMixSweep(benchmark::State &state)
+{
+    // The streaming-service headline sweep: one large coherent frame
+    // job (32x32 primaries, arrival 0) sharing the machine with
+    // 1..8 small probe jobs (8x8 primaries) arriving staggered while
+    // the frame is in flight, with cross-job batch packing ON vs OFF
+    // (OFF = the head-of-line-blocking baseline: the scheduler serves
+    // the frame to exhaustion before any probe sees the machine). The
+    // packing rows must show the small jobs' p50/p99 SIMULATED latency
+    // dropping by roughly the frame's remaining-drain time while
+    // cross_job_share_rate > 0 evidences that the win comes from
+    // probe rays riding the frame's packets — at identical hit
+    // records and near-identical aggregate cycles_per_ray (packing
+    // reshuffles batch composition, not the work). All latencies are
+    // simulated cycles, so every counter here is bit-deterministic
+    // and gated tightly by bench_compare.py in CI.
+    const unsigned clients = unsigned(state.range(0));
+    const bool packing = state.range(1) != 0;
+    const Bvh4 &bvh = benchScene();
+    const std::vector<Ray> frame = benchRays(32);
+    const std::vector<Ray> probe = benchRays(8);
+
+    sim::EngineConfig ecfg;
+    ecfg.threads = 1;
+    ecfg.rt.ray_buffer_entries = 32 * 8; // iso-slot: 32 wavefronts
+    ecfg.rt.mem_backend = MemBackend::NodeCache;
+    ecfg.rt.cache = kProbeCache4KiB;
+    ecfg.rt.packet.width = 8;
+    ecfg.rt.issue_width = 2;
+    ecfg.rt.mshrs = 8;
+    const sim::Engine engine(ecfg);
+
+    sim::StreamConfig scfg;
+    scfg.batch_size = 64;
+    scfg.cross_job_packing = packing;
+
+    sim::StreamReport rep;
+    for (auto _ : state) {
+        std::vector<sim::RenderJob> jobs;
+        jobs.push_back({0, 0, false, frame});
+        for (unsigned c = 1; c <= clients; ++c)
+            jobs.push_back({c, 400ull * c, false, probe});
+        rep = sim::StreamingService::run(engine, bvh, std::move(jobs),
+                                         scfg);
+        benchmark::DoNotOptimize(rep.makespan_ticks);
+    }
+
+    std::vector<uint64_t> lat;
+    for (const sim::JobReport &j : rep.jobs)
+        if (j.id != 0)
+            lat.push_back(j.latency);
+    std::sort(lat.begin(), lat.end());
+    const double n = double(rep.total_rays);
+    state.counters["cycles_per_ray"] = double(rep.unit.cycles) / n;
+    state.counters["rays_per_kcycle"] =
+        1000.0 * n / double(rep.unit.cycles);
+    state.counters["small_p50_latency"] =
+        lat.empty() ? 0.0 : double(lat[(lat.size() - 1) / 2]);
+    state.counters["small_p99_latency"] =
+        lat.empty() ? 0.0 : double(lat.back());
+    state.counters["frame_latency"] = double(rep.job(0)->latency);
+    state.counters["makespan_kticks"] =
+        double(rep.makespan_ticks) / 1000.0;
+    state.counters["cross_job_share_rate"] = rep.crossJobShareRate();
+    state.counters["fairness"] = rep.fairness;
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rep.total_rays));
+}
+BENCHMARK(BM_StreamingMixSweep)
+    ->ArgNames({"clients", "packing"})
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0})
     ->Unit(benchmark::kMillisecond);

@@ -14,7 +14,7 @@
  * image is bit-identical for every value of [threads].
  *
  * Usage: render_scene [width] [height] [scene] [out.ppm] [threads] [ao]
- *                     [cache] [packet] [issue] [chip]
+ *                     [cache] [packet] [issue] [chip] [stream]
  *   scene: sphere | torus | terrain | mixed (default mixed)
  *   threads: engine workers, 0 = all cores (default 0)
  *   ao: ambient-occlusion rays per hit pixel (default 0 = off)
@@ -43,6 +43,14 @@
  *          report rays/kcycle, L2 hit rate, cross-unit merges and
  *          bank-queue stalls - where throughput saturates on a shared
  *          memory system (default 0 = off; hits and image are
+ *          unaffected)
+ *   stream: 1 = after rendering, serve the primary batch through the
+ *          streaming render service (sim::StreamingService): a large
+ *          frame job racing four small staggered probe jobs, with
+ *          cross-job batch packing on vs off (the head-of-line
+ *          blocking baseline), and report the small jobs' simulated
+ *          p50/p99 latency, the cross-job fetch-share rate and the
+ *          Jain fairness index (default 0 = off; hits and image are
  *          unaffected)
  *
  * Every cycle-accurate probe row reports the same base counter set -
@@ -101,6 +109,7 @@ main(int argc, char **argv)
     unsigned packet_probe = argc > 8 ? unsigned(atoi(argv[8])) : 0;
     unsigned issue_probe = argc > 9 ? unsigned(atoi(argv[9])) : 0;
     unsigned chip_probe = argc > 10 ? unsigned(atoi(argv[10])) : 0;
+    bool stream_probe = argc > 11 && atoi(argv[11]) != 0;
     if (packet_probe > kMaxPacketWidth) {
         // The RT unit clamps internally; clamp here too so the probe
         // labels match the width that actually simulates.
@@ -227,7 +236,7 @@ main(int argc, char **argv)
     ncfg.rt.cache = kProbeCache4KiB;
     sim::EngineReport cached;
     if (cache_probe || packet_probe > 1 || issue_probe > 1 ||
-        chip_probe > 1) {
+        chip_probe > 1 || stream_probe) {
         primary = RayGen::primaryRays(pcfg.camera, pcfg.t_max);
         cached = sim::Engine(ncfg).run(bvh, primary);
     }
@@ -235,12 +244,11 @@ main(int argc, char **argv)
     // Shared base counter set of every probe row: the same three
     // per-ray numbers in the same order, so rows compare across the
     // cache/packet/issue/chip probes.
-    const auto probeBase = [](const sim::EngineReport &rep, double n) {
+    const auto probeBase = [](const RtUnitStats &u, double n) {
         printf("%.2f cycles/ray, %.2f mem-stall slots/ray, %.2f "
                "requests/ray",
-               double(rep.unit.cycles) / n,
-               double(rep.unit.stall_on_memory) / n,
-               double(rep.unit.mem_requests) / n);
+               double(u.cycles) / n, double(u.stall_on_memory) / n,
+               double(u.mem_requests) / n);
     };
 
     if (cache_probe) {
@@ -249,10 +257,10 @@ main(int argc, char **argv)
             sim::Engine(ccfg).run(bvh, primary);
         printf("memory probe (primary batch, cycle-accurate):\n");
         printf("  flat %u-cycle fetch: ", ccfg.rt.mem_latency);
-        probeBase(flat, n);
+        probeBase(flat.unit, n);
         printf("\n");
         printf("  4 KiB node cache:    ");
-        probeBase(cached, n);
+        probeBase(cached.unit, n);
         printf(", %.1f%% hit rate (%llu hits / %llu misses / "
                "%llu evictions)\n",
                100.0 * cached.unit.mem.hitRate(),
@@ -278,10 +286,10 @@ main(int argc, char **argv)
         printf("packet probe (primary batch, cycle-accurate, 4 KiB "
                "node cache):\n");
         printf("  scalar:          ");
-        probeBase(cached, n);
+        probeBase(cached.unit, n);
         printf("\n");
         printf("  %2u-wide packets: ", packet_probe);
-        probeBase(packet, n);
+        probeBase(packet.unit, n);
         printf(" (%.2f fetches/ray shared)\n",
                double(ps.fetches_shared) / n);
         printf("  %llu packets, avg occupancy %.2f/%u per node visit "
@@ -317,7 +325,7 @@ main(int argc, char **argv)
                     sim::Engine(icfg).run(bvh, primary);
                 printf("  %s issue %u: ", packets ? "packet" : "scalar",
                        iw);
-                probeBase(rep, n);
+                probeBase(rep.unit, n);
                 printf(", %.2f beats/cycle, %llu MSHR merges, %llu "
                        "stalls-full\n",
                        rep.unit.utilization(),
@@ -365,19 +373,69 @@ main(int argc, char **argv)
             rcfg.chip.units = row.units;
             rcfg.chip.l2 = row.l2;
             if (row.l2 == sim::L2Mode::Private)
-                // Iso-capacity: split the shared sets across units.
-                rcfg.chip.l2cfg.sets = std::max(
-                    1u, kProbeL2_128KiB.sets / row.units);
+                // Iso-capacity: split the shared geometry evenly.
+                rcfg.chip.l2cfg =
+                    kProbeL2_128KiB.dividedAcross(row.units);
             sim::EngineReport rep = sim::Engine(rcfg).run(bvh, primary);
             const L2Stats l2 = rep.unit.l2Total();
             printf("  %s: ", row.label);
-            probeBase(rep, n);
+            probeBase(rep.unit, n);
             printf(", %.1f rays/kcycle, %.1f%% L2 hit rate, %.2f "
                    "cross-unit merges/ray, %.2f bank-queue stalls/ray\n",
                    1000.0 * n / double(rep.unit.chip_cycles),
                    100.0 * l2.hitRate(),
                    double(l2.cross_unit_merges) / n,
                    double(l2.queue_stalls) / n);
+        }
+    }
+
+    if (stream_probe) {
+        // The streaming probe: the primary batch as a large frame job
+        // (arrival 0) racing four small probe jobs - the first 64
+        // primaries resubmitted at staggered arrivals - through
+        // sim::StreamingService, packetized under the 4 KiB node
+        // cache. Packing ON lets probe rays ride the frame's shared
+        // batches; OFF is the head-of-line-blocking baseline. Same
+        // rays, same hits - the service moves only batch composition
+        // and the simulated per-job timeline.
+        const unsigned pw = packet_probe > 1 ? packet_probe : 8;
+        sim::EngineConfig stcfg = ncfg;
+        stcfg.rt.packet.width = pw;
+        stcfg.rt.ray_buffer_entries *= pw;
+        stcfg.rt.mshrs = 8;
+        const sim::Engine streng(stcfg);
+        const std::vector<Ray> small(
+            primary.begin(),
+            primary.begin() + std::min<size_t>(64, primary.size()));
+        printf("stream probe (frame + 4 probe jobs, cycle-accurate, "
+               "%u-wide packets, 4 KiB node cache):\n",
+               pw);
+        for (bool packing : {true, false}) {
+            std::vector<sim::RenderJob> jobs;
+            jobs.push_back({0, 0, false, primary});
+            for (unsigned c = 1; c <= 4; ++c)
+                jobs.push_back({c, 400ull * c, false, small});
+            sim::StreamConfig scfg;
+            scfg.batch_size = 256;
+            scfg.cross_job_packing = packing;
+            sim::StreamReport rep = sim::StreamingService::run(
+                streng, bvh, std::move(jobs), scfg);
+            uint64_t p50 = 0, p99 = 0;
+            std::vector<uint64_t> lat;
+            for (const sim::JobReport &j : rep.jobs)
+                if (j.id != 0)
+                    lat.push_back(j.latency);
+            std::sort(lat.begin(), lat.end());
+            if (!lat.empty()) {
+                p50 = lat[(lat.size() - 1) / 2];
+                p99 = lat.back();
+            }
+            printf("  packing %-3s: ", packing ? "on" : "off");
+            probeBase(rep.unit, double(rep.total_rays));
+            printf(", probe p50/p99 %llu/%llu cycles, %.1f%% "
+                   "cross-job shared fetches, fairness %.2f\n",
+                   (unsigned long long)p50, (unsigned long long)p99,
+                   100.0 * rep.crossJobShareRate(), rep.fairness);
         }
     }
     return 0;

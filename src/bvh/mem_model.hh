@@ -53,6 +53,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 namespace rayflex::bvh
@@ -272,6 +273,31 @@ struct L2Config
     capacityBytes() const
     {
         return uint64_t(line_bytes) * banks * sets * ways;
+    }
+
+    /** This L2's capacity divided evenly across `units` PRIVATE
+     *  copies: same line size, banks, ways and timings, sets / units
+     *  sets per bank — so units private L2s of the returned geometry
+     *  total exactly capacityBytes(). This is the iso-capacity
+     *  L2Mode::Private baseline helper: callers used to divide
+     *  l2cfg.sets by hand, silently truncating when it did not divide.
+     *  @throws std::invalid_argument when units == 0 or sets is not a
+     *          multiple of units (a truncated split would compare
+     *          unequal capacities and call it an architecture win). */
+    L2Config
+    dividedAcross(unsigned units) const
+    {
+        if (units == 0)
+            throw std::invalid_argument(
+                "L2Config::dividedAcross: units must be >= 1");
+        if (sets % units != 0)
+            throw std::invalid_argument(
+                "L2Config::dividedAcross: sets must divide evenly "
+                "across units (an uneven split silently changes the "
+                "total capacity under comparison)");
+        L2Config per = *this;
+        per.sets = sets / units;
+        return per;
     }
 
     friend bool operator==(const L2Config &, const L2Config &) = default;

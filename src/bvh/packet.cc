@@ -40,19 +40,20 @@ PacketTraversal::PacketTraversal(const Bvh4 &bvh, unsigned width,
 }
 
 unsigned
-PacketTraversal::admit(std::deque<std::pair<core::Ray, uint32_t>> &queue)
+PacketTraversal::admit(std::deque<PendingRay> &queue)
 {
     assert(state_ == State::Idle);
     n_lanes_ = 0;
     while (n_lanes_ < width_ && !queue.empty()) {
-        auto [ray, id] = queue.front();
+        const PendingRay pr = queue.front();
         queue.pop_front();
         Lane &ln = lanes_[n_lanes_];
         ln = Lane{};
-        ln.ray = ray;
-        ln.ray_id = id;
-        ln.t_beg = fromBits(ray.t_beg);
-        ln.t_max = fromBits(ray.t_end);
+        ln.ray = pr.ray;
+        ln.ray_id = pr.ray_id;
+        ln.job = pr.job;
+        ln.t_beg = fromBits(pr.ray.t_beg);
+        ln.t_max = fromBits(pr.ray.t_end);
         ++n_lanes_;
     }
     if (n_lanes_ == 0)
@@ -149,6 +150,15 @@ PacketTraversal::fetchIssued()
     ++stats_->node_visits;
     stats_->active_ray_visits += active;
     stats_->fetches_shared += active - 1; // fetches scalar would issue
+    // Attribute the shared fetches: the lowest active lane "owns" the
+    // fetch, and every other active lane from a DIFFERENT job shares
+    // it across a job boundary. Pure accounting — the fetch itself is
+    // identical whatever the tags.
+    const unsigned owner = unsigned(std::countr_zero(live_));
+    for (unsigned r = owner + 1; r < n_lanes_; ++r)
+        if ((live_ & (1u << r)) &&
+            lanes_[r].job != lanes_[owner].job)
+            ++stats_->cross_job_fetches_shared;
 }
 
 void

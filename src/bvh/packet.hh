@@ -47,6 +47,21 @@ namespace rayflex::bvh
 /** Widest packet the mask/lane bookkeeping supports. */
 inline constexpr unsigned kMaxPacketWidth = 16;
 
+/** One ray awaiting admission into a packet (the RT unit's refill
+ *  queue element). `job` tags which submission stream the ray belongs
+ *  to (sim::StreamingService packs rays of several concurrent jobs
+ *  into one batch); the tag NEVER influences packet formation or
+ *  traversal — packets admit rays strictly in queue order whatever
+ *  their tags, which is what keeps job-tagged runs bit-identical to
+ *  untagged ones — it only attributes shared fetches to
+ *  PacketStats::cross_job_fetches_shared. */
+struct PendingRay
+{
+    core::Ray ray;
+    uint32_t ray_id = 0;
+    uint32_t job = 0;
+};
+
 /** One datapath beat of a packet's current work item: which member
  *  lane it tests and, for leaf items, which triangle. The RT unit
  *  holds the accepted beat in its per-datapath-lane in-flight queue
@@ -92,6 +107,12 @@ struct PacketStats
     uint64_t active_ray_visits = 0;///< sum of active lanes over visits
     uint64_t fetches_shared = 0;   ///< fetches avoided vs scalar:
                                    ///< sum(active lanes - 1) per visit
+    /** Subset of fetches_shared where the sharing lanes carry
+     *  different PendingRay::job tags — one job's coherent rays
+     *  filling another's packets (cross-job packing). Zero whenever
+     *  every admitted ray carries the same tag (every non-streaming
+     *  path). */
+    uint64_t cross_job_fetches_shared = 0;
     uint64_t divergence_splits = 0;///< node visits whose hit children
                                    ///< partition the active mask
     uint64_t rays_retired = 0;     ///< lanes retired from packets
@@ -125,6 +146,7 @@ struct PacketStats
         node_visits += o.node_visits;
         active_ray_visits += o.active_ray_visits;
         fetches_shared += o.fetches_shared;
+        cross_job_fetches_shared += o.cross_job_fetches_shared;
         divergence_splits += o.divergence_splits;
         rays_retired += o.rays_retired;
         occupancy_at_retire += o.occupancy_at_retire;
@@ -169,9 +191,10 @@ class PacketTraversal
 
     /** Form a packet from up to width rays at the front of `queue`.
      *  Rays against an empty BVH complete immediately (miss records
-     *  land in completed()). @return rays admitted. */
+     *  land in completed()). Job tags ride along per lane; they never
+     *  affect which rays are grouped. @return rays admitted. */
     unsigned
-    admit(std::deque<std::pair<core::Ray, uint32_t>> &queue);
+    admit(std::deque<PendingRay> &queue);
 
     // ---- memory service ------------------------------------------------
     /** True when the packet's current work item awaits its fetch. */
@@ -267,6 +290,7 @@ class PacketTraversal
     {
         core::Ray ray;
         uint32_t ray_id = 0;
+        uint32_t job = 0; ///< submission stream (stats only)
         HitRecord best;
         float t_beg = 0;
         float t_max = 0;

@@ -164,9 +164,9 @@ RtUnit::issueFetch(size_t slot, bool is_leaf, uint32_t index,
 }
 
 void
-RtUnit::submit(const core::Ray &ray, uint32_t ray_id)
+RtUnit::submit(const core::Ray &ray, uint32_t ray_id, uint32_t job)
 {
-    pending_rays_.emplace_back(ray, ray_id);
+    pending_rays_.push_back(PendingRay{ray, ray_id, job});
     if (results_.size() <= ray_id)
         results_.resize(ray_id + 1);
     ++outstanding_;
@@ -618,13 +618,13 @@ RtUnit::advance(uint64_t cycle)
         Entry &e = entries_[i];
         if (e.state != EntryState::Idle)
             continue;
-        auto [ray, id] = pending_rays_.front();
+        const PendingRay pr = pending_rays_.front();
         pending_rays_.pop_front();
         e = Entry{};
-        e.ray = ray;
-        e.ray_id = id;
-        e.t_beg = fromBits(ray.t_beg);
-        e.t_max = fromBits(ray.t_end);
+        e.ray = pr.ray;
+        e.ray_id = pr.ray_id;
+        e.t_beg = fromBits(pr.ray.t_beg);
+        e.t_max = fromBits(pr.ray.t_end);
         if (bvh_.tris.empty()) {
             results_[e.ray_id] = HitRecord{};
             --outstanding_;

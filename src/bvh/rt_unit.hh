@@ -191,8 +191,12 @@ class RtUnit : public pipeline::Component
            const RtUnitConfig &cfg = {},
            MemoryModel *shared_mem = nullptr);
 
-    /** Queue a ray for traversal; results appear in results(). */
-    void submit(const core::Ray &ray, uint32_t ray_id);
+    /** Queue a ray for traversal; results appear in results(). `job`
+     *  tags the submission stream the ray belongs to (bvh::PendingRay)
+     *  — it never changes scheduling or results, only the cross-job
+     *  attribution of shared packet fetches. */
+    void submit(const core::Ray &ray, uint32_t ray_id,
+                uint32_t job = 0);
 
     /** Route this unit's L1 misses through a chip-level shared L2 as
      *  unit `unit_id` on the ring (sim::Engine chip mode). Forwards to
@@ -317,7 +321,7 @@ class RtUnit : public pipeline::Component
     std::vector<PacketTraversal> packets_; ///< packet mode
     /** Per-packet repacking-window progress (packet mode). */
     std::vector<unsigned> compact_hold_;
-    std::deque<std::pair<core::Ray, uint32_t>> pending_rays_;
+    std::deque<PendingRay> pending_rays_;
     std::deque<MemRequest> mem_queue_;
     std::vector<HitRecord> results_;
     size_t outstanding_ = 0;

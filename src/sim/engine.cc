@@ -1,151 +1,38 @@
 /**
  * @file
- * Batch simulation engine implementation.
+ * Batch simulation engine implementation (the batch-synchronous front
+ * of the job/scheduler/executor stack).
  *
  * Work distribution is a single atomic batch counter: workers claim the
  * next unclaimed batch index until none remain. Batches are contiguous
- * ray ranges, so each worker writes its hit records into a disjoint
- * slice of the shared output vector without synchronization; statistics
- * are accumulated per worker and merged after the join, which is safe
- * because the merge operation is commutative and associative.
+ * ray ranges; each worker gathers its claimed range into executor ray
+ * refs (ray pointer + hit-record pointer) and hands them to the shared
+ * sim::BatchExecutor, which scatters hit records into disjoint slices
+ * of the shared output vector — so no synchronization is needed on
+ * results. Statistics are accumulated per worker and merged after the
+ * join, which is safe because the merge operation is commutative and
+ * associative.
  *
  * Workers live in a persistent pool (Engine::Pool): threads are spawned
  * once, then parked on a condition variable between runs. A run hands
  * the pool a job and a worker count; each drafted worker executes
  * job(worker_id) and reports back, and the dispatching thread blocks
  * until all drafted workers have returned. Single-worker runs bypass
- * the pool entirely and execute inline on the calling thread.
+ * the pool entirely and execute inline on the calling thread. The
+ * streaming service (sim/stream.hh) dispatches onto the same pool
+ * through Engine::dispatchWorkers.
  */
 #include "sim/engine.hh"
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
-#include <functional>
 #include <stdexcept>
 #include <thread>
 
-#include "bvh/traversal.hh"
-#include "core/datapath.hh"
-
 namespace rayflex::sim
 {
-
-namespace
-{
-
-/** Per-worker accumulator state. */
-struct WorkerTally
-{
-    bvh::RtUnitStats unit;
-    bvh::TraversalStats traversal;
-};
-
-/**
- * Simulate one batch on a chip of lock-stepped RT units
- * (EngineConfig::chip). Batch ray i goes to unit i % units with local
- * id i / units; all units (and their datapath lanes) register with ONE
- * pipeline::Simulator and tick together until the slowest drains, so
- * their SharedL2 requests interleave on a common chip clock. The chip
- * is freshly constructed here, per batch: sharing never crosses a
- * batch boundary, which is what keeps the engine's determinism
- * contract intact at every worker count.
- *
- * @return the units' merged stats, plus the chip-level fields:
- *         chip_cycles (this batch's lock-step ticks) and l2_banks
- *         (the shared L2's per-bank counters, or the per-unit private
- *         L2s' counters summed bank-by-bank).
- */
-bvh::RtUnitStats
-runChipBatch(const bvh::Bvh4 &bvh, const bvh::RtUnitConfig &rt_cfg,
-             const core::DatapathConfig &dp_cfg, const ChipConfig &chip,
-             uint64_t max_cycles, const std::vector<core::Ray> &rays,
-             core::BatchRange r, std::vector<bvh::HitRecord> &hits_out)
-{
-    const unsigned units = std::clamp(chip.units, 1u, kMaxChipUnits);
-
-    std::vector<std::unique_ptr<core::RayFlexDatapath>> dps;
-    std::vector<std::unique_ptr<bvh::RtUnit>> us;
-    dps.reserve(units);
-    us.reserve(units);
-    for (unsigned u = 0; u < units; ++u) {
-        dps.push_back(std::make_unique<core::RayFlexDatapath>(dp_cfg));
-        us.push_back(
-            std::make_unique<bvh::RtUnit>(bvh, *dps[u], rt_cfg));
-    }
-
-    std::unique_ptr<bvh::SharedL2> shared;
-    std::vector<std::unique_ptr<bvh::SharedL2>> priv;
-    if (chip.l2 == L2Mode::Shared) {
-        shared = std::make_unique<bvh::SharedL2>(chip.l2cfg);
-        for (unsigned u = 0; u < units; ++u)
-            us[u]->attachSharedL2(shared.get(), u);
-    } else if (chip.l2 == L2Mode::Private) {
-        priv.reserve(units);
-        for (unsigned u = 0; u < units; ++u) {
-            priv.push_back(std::make_unique<bvh::SharedL2>(chip.l2cfg));
-            // Every unit sits at ring stop 0 of its own private L2:
-            // no interconnect sharing to model.
-            us[u]->attachSharedL2(priv[u].get(), 0);
-        }
-    }
-
-    // Round-robin distribution: adjacent (typically coherent) rays
-    // land on different units, which is what gives a shared L2
-    // cross-unit merges to find. Each unit's local ids stay dense, so
-    // results() is parallel to its submissions as usual.
-    for (size_t i = r.begin; i < r.end; ++i) {
-        const size_t k = i - r.begin;
-        us[k % units]->submit(rays[i], uint32_t(k / units));
-    }
-
-    pipeline::Simulator sim;
-    for (auto &u : us)
-        u->registerWith(sim);
-    for (auto &u : us)
-        u->beginRun();
-
-    const auto all_done = [&us] {
-        for (const auto &u : us)
-            if (!u->done())
-                return false;
-        return true;
-    };
-    uint64_t ticks = 0;
-    while (!all_done() && ticks < max_cycles) {
-        sim.tick();
-        ++ticks;
-    }
-    if (!all_done())
-        throw std::runtime_error(
-            "Engine: chip batch exceeded max_cycles_per_batch");
-
-    bvh::RtUnitStats merged;
-    for (auto &u : us)
-        merged.merge(u->endRun());
-    merged.chip_cycles = ticks;
-    if (shared) {
-        merged.l2_banks = shared->bankStats();
-    } else {
-        for (const auto &p : priv) {
-            const std::vector<bvh::L2Stats> &bs = p->bankStats();
-            if (merged.l2_banks.size() < bs.size())
-                merged.l2_banks.resize(bs.size());
-            for (size_t b = 0; b < bs.size(); ++b)
-                merged.l2_banks[b].merge(bs[b]);
-        }
-    }
-
-    for (size_t i = r.begin; i < r.end; ++i) {
-        const size_t k = i - r.begin;
-        hits_out[i] = us[k % units]->results()[k / units];
-    }
-    return merged;
-}
-
-} // namespace
 
 /** Persistent worker threads parked between dispatches. */
 class Engine::Pool
@@ -231,6 +118,18 @@ Engine::Engine(const EngineConfig &cfg) : cfg_(cfg)
 
 Engine::~Engine() = default;
 
+ExecutorConfig
+Engine::executorConfig() const
+{
+    ExecutorConfig ec;
+    ec.model = cfg_.model;
+    ec.rt = cfg_.rt;
+    ec.dp = cfg_.dp;
+    ec.chip = cfg_.chip;
+    ec.max_cycles_per_batch = cfg_.max_cycles_per_batch;
+    return ec;
+}
+
 void
 Engine::resetWarmCaches() const
 {
@@ -238,6 +137,32 @@ Engine::resetWarmCaches() const
     for (const std::unique_ptr<bvh::MemoryModel> &m : warm_mems_)
         if (m)
             m->reset();
+}
+
+void
+Engine::dispatchWorkers(unsigned n,
+                        const std::function<void(unsigned)> &job,
+                        bool serialize_inline) const
+{
+    if (n <= 1) {
+        if (serialize_inline) {
+            // Single-worker runs that share cross-run state (warm
+            // caches) must still serialize with any concurrent run()
+            // of this engine.
+            std::lock_guard<std::mutex> lk(pool_mutex_);
+            job(0);
+        } else {
+            job(0);
+        }
+        return;
+    }
+    // Concurrent run() calls from different threads serialize here;
+    // results are unaffected (work distribution is the callers' atomic
+    // batch counters), only wall-clock overlaps are lost.
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    if (!pool_)
+        pool_ = std::make_unique<Pool>(resolved_threads_);
+    pool_->dispatch(n, job);
 }
 
 EngineReport
@@ -251,9 +176,8 @@ EngineReport
 Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
             bool any_hit) const
 {
-    const bool chip_active = cfg_.model == ExecutionModel::CycleAccurate &&
-                             cfg_.chip.active();
-    if (chip_active && cfg_.warm_cache)
+    const BatchExecutor exec(bvh, executorConfig());
+    if (exec.chipActive() && cfg_.warm_cache)
         throw std::invalid_argument(
             "Engine: warm_cache and chip mode are mutually exclusive "
             "(chip batches run cold by construction)");
@@ -274,10 +198,6 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
         threads = unsigned(batches.size());
     report.threads_used = threads;
 
-    bvh::RtUnitConfig rt_cfg = cfg_.rt;
-    rt_cfg.mode = any_hit ? bvh::TraversalMode::Any
-                          : bvh::TraversalMode::Closest;
-
     // Warm-cache mode: make sure every pool worker owns a persistent
     // memory model before any worker needs it. See EngineConfig::
     // warm_cache for the determinism tradeoff this opts into.
@@ -295,45 +215,28 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
     }
 
     std::atomic<size_t> next_batch{0};
-    std::vector<WorkerTally> tallies(threads);
+    std::vector<BatchResult> tallies(threads);
     std::vector<std::exception_ptr> errors(threads);
 
     auto worker = [&](unsigned wid) {
         try {
-            // One unit per claimed batch, freshly constructed: unit
-            // evolution then depends only on the batch contents, which
-            // is what keeps results independent of the thread count.
+            // Gather each claimed contiguous range into executor refs
+            // (reusing one buffer per worker): the executor then sees
+            // the same rays with the same local ids in the same order
+            // as the pre-refactor inline loops, so schedules are
+            // bit-for-bit unchanged.
+            std::vector<BatchRayRef> refs;
             for (size_t bi = next_batch.fetch_add(1);
                  bi < batches.size(); bi = next_batch.fetch_add(1)) {
                 const core::BatchRange r = batches[bi];
-                if (chip_active) {
-                    tallies[wid].unit.merge(runChipBatch(
-                        bvh, rt_cfg, cfg_.dp, cfg_.chip,
-                        cfg_.max_cycles_per_batch, rays, r,
-                        report.hits));
-                } else if (cfg_.model == ExecutionModel::CycleAccurate) {
-                    core::RayFlexDatapath dp(cfg_.dp);
-                    bvh::RtUnit unit(bvh, dp, rt_cfg,
-                                     warm ? warm_mems_[wid].get()
-                                          : nullptr);
-                    for (size_t i = r.begin; i < r.end; ++i)
-                        unit.submit(rays[i], uint32_t(i - r.begin));
-                    tallies[wid].unit.merge(
-                        unit.run(cfg_.max_cycles_per_batch));
-                    for (size_t i = r.begin; i < r.end; ++i)
-                        report.hits[i] = unit.results()[i - r.begin];
-                } else {
-                    bvh::Traverser trav(bvh);
-                    if (any_hit) {
-                        for (size_t i = r.begin; i < r.end; ++i)
-                            report.hits[i] =
-                                bvh::HitRecord{trav.anyHit(rays[i])};
-                    } else {
-                        for (size_t i = r.begin; i < r.end; ++i)
-                            report.hits[i] = trav.closestHit(rays[i]);
-                    }
-                    tallies[wid].traversal.merge(trav.stats());
-                }
+                refs.resize(r.size());
+                for (size_t i = r.begin; i < r.end; ++i)
+                    refs[i - r.begin] = {&rays[i], &report.hits[i], 0};
+                BatchResult br = exec.executeBatch(
+                    refs.data(), refs.size(), any_hit,
+                    warm ? warm_mems_[wid].get() : nullptr);
+                tallies[wid].unit.merge(br.unit);
+                tallies[wid].traversal.merge(br.traversal);
             }
         } catch (...) {
             errors[wid] = std::current_exception();
@@ -341,25 +244,7 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
     };
 
     const auto t0 = std::chrono::steady_clock::now();
-    if (threads == 1) {
-        if (warm) {
-            // Warm runs share per-worker cache state, so even the
-            // inline single-worker path must serialize with any
-            // concurrent run() of this engine.
-            std::lock_guard<std::mutex> lk(pool_mutex_);
-            worker(0);
-        } else {
-            worker(0);
-        }
-    } else {
-        // Concurrent run() calls from different threads serialize here;
-        // results are unaffected (work distribution is the atomic batch
-        // counter above), only wall-clock overlaps are lost.
-        std::lock_guard<std::mutex> lk(pool_mutex_);
-        if (!pool_)
-            pool_ = std::make_unique<Pool>(resolved_threads_);
-        pool_->dispatch(threads, worker);
-    }
+    dispatchWorkers(threads, worker, warm);
     const auto t1 = std::chrono::steady_clock::now();
     report.elapsed_seconds =
         std::chrono::duration<double>(t1 - t0).count();
@@ -371,7 +256,7 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
     // Merge worker tallies in worker-id order. Any order would give the
     // same counters (sums and maxima commute); a fixed order just makes
     // that property obvious.
-    for (const WorkerTally &t : tallies) {
+    for (const BatchResult &t : tallies) {
         report.unit.merge(t.unit);
         report.traversal.merge(t.traversal);
     }

@@ -6,11 +6,15 @@
  * rendering or search workload means simulating many rays against the
  * same scene, and the cycle-accurate model is embarrassingly parallel
  * across rays as long as each worker owns its own pipeline state. The
- * engine shards a ray workload into fixed batches (core::sliceBatches),
- * runs one bvh::RtUnit + core::RayFlexDatapath - or, in the functional
- * model, one bvh::Traverser - per worker thread against a shared
- * immutable Scene/BVH, and merges the per-batch statistics into an
- * aggregate report.
+ * engine is the batch-synchronous front of the three-tier stack (job /
+ * scheduler / executor — see sim/executor.hh and sim/stream.hh): it
+ * shards a ray workload into fixed batches (core::sliceBatches), has
+ * each worker thread gather its claimed batch into executor ray refs
+ * and run them through one shared sim::BatchExecutor (which constructs
+ * a fresh bvh::RtUnit + core::RayFlexDatapath — or, in the functional
+ * model, a bvh::Traverser — per batch against the shared immutable
+ * Scene/BVH), and merges the per-batch statistics into an aggregate
+ * report.
  *
  * Determinism contract: per-ray hit records and the merged statistics
  * are bit-identical for every thread count. Three properties make this
@@ -27,81 +31,25 @@
  * spawns a pool sized to the configured thread count, and every later
  * run() of the same engine reuses it, so multi-pass scenarios (primary,
  * shadow, ambient-occlusion, bounce batches - see sim/passes.hh) stop
- * paying thread creation per pass. The pool never affects results: work
- * distribution stays the atomic batch counter of point 1 above.
+ * paying thread creation per pass. The same pool also executes
+ * sim::StreamingService batches (sim/stream.hh). The pool never
+ * affects results: work distribution stays the atomic batch counter of
+ * point 1 above.
  */
 #ifndef RAYFLEX_SIM_ENGINE_HH
 #define RAYFLEX_SIM_ENGINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
-#include "bvh/rt_unit.hh"
 #include "core/workloads.hh"
+#include "sim/executor.hh"
 
 namespace rayflex::sim
 {
-
-/** How each batch is evaluated. */
-enum class ExecutionModel : uint8_t {
-    /** Cycle-accurate: a bvh::RtUnit drives a pipelined datapath, so the
-     *  report carries cycle counts, utilization and memory stalls. */
-    CycleAccurate,
-    /** Functional: a bvh::Traverser invokes the datapath arithmetic
-     *  directly (same intersection decisions, no timing). Orders of
-     *  magnitude faster; the model for image rendering and validation
-     *  sweeps. */
-    Functional,
-};
-
-/** What backs the chip's per-unit L1s in chip mode. */
-enum class L2Mode : uint8_t {
-    /** No second tier: every unit's L1 terminates at its own latency
-     *  (the pre-chip memory path, bit-for-bit at units == 1). */
-    Off,
-    /** One bvh::SharedL2 serves every unit in the batch: units contend
-     *  for banks and merge cross-unit fills — the chip the tentpole
-     *  models. */
-    Shared,
-    /** One private SharedL2 per unit (no contention, no cross-unit
-     *  merges): the iso-capacity baseline BM_UnitScalingSweep compares
-     *  sharing against. Callers wanting equal total capacity divide
-     *  l2cfg.sets by the unit count themselves. */
-    Private,
-};
-
-/** Most units a chip batch may step in lock-step. */
-inline constexpr unsigned kMaxChipUnits = 16;
-
-/** Multi-unit chip mode (CycleAccurate model). Each batch is run by
- *  `units` RT units stepping in deterministic lock-step under one
- *  pipeline::Simulator: ray i of the batch goes to unit i % units.
- *  The chip is freshly constructed per batch, so sharing is confined
- *  within a batch and the engine's bit-identical-at-every-worker-count
- *  contract holds for hits, timing and every L2 counter. */
-struct ChipConfig
-{
-    /** RT units per chip, clamped to 1..kMaxChipUnits. */
-    unsigned units = 1;
-
-    /** Second memory tier behind the per-unit L1s. Only the NodeCache
-     *  L1 backend routes misses to it; FixedLatency ignores the tier
-     *  (its flat latency already stands in for the whole system). */
-    L2Mode l2 = L2Mode::Off;
-
-    /** Geometry and timing of the L2 tier (Shared and Private). */
-    bvh::L2Config l2cfg;
-
-    /** True when this config changes anything over the single-unit
-     *  engine path (the defaults leave chip mode off). */
-    bool
-    active() const
-    {
-        return units > 1 || l2 != L2Mode::Off;
-    }
-};
 
 /** Engine configuration. */
 struct EngineConfig
@@ -226,13 +174,17 @@ struct EngineReport
 };
 
 /**
- * The batch simulation engine. Results are stateless between runs:
- * every run() call re-instantiates its per-worker simulation units, so
- * one engine can serve many scenes and workloads back to back. The only
- * state carried across runs is the persistent worker pool, which is why
- * the engine is no longer copyable; run() stays safe to call from
- * different threads, with concurrent runs serializing on the shared
- * pool.
+ * The batch simulation engine. A run() call carries no simulation
+ * state in or out: every batch goes through a sim::BatchExecutor that
+ * constructs its simulation units fresh, so one engine can serve many
+ * scenes and workloads back to back and no run's results depend on a
+ * previous run. Two pieces of host-side state DO persist across runs —
+ * the worker pool (a pure performance cache) and, only when
+ * EngineConfig::warm_cache opts in, the per-worker memory models — and
+ * they are why the engine is not copyable. run() stays safe to call
+ * from different threads, with concurrent runs serializing on the
+ * shared pool (each caller still gets the report of exactly the rays
+ * it passed).
  */
 class Engine
 {
@@ -264,8 +216,23 @@ class Engine
      *  call between runs; no-op when warm mode never ran. */
     void resetWarmCaches() const;
 
+    /** The executor-tier view of this engine's configuration (what a
+     *  sim::BatchExecutor over the same knobs runs). */
+    ExecutorConfig executorConfig() const;
+
   private:
+    friend class StreamingService; ///< shares the pool (sim/stream.hh)
+
     class Pool;
+
+    /** Run job(0)..job(n-1) on the shared worker pool (inline on the
+     *  calling thread when n == 1), serializing with other runs on
+     *  pool_mutex_; blocks until every worker returned. The inline
+     *  n == 1 path takes the mutex only when `serialize_inline` asks
+     *  for it (warm-cache runs share per-worker state). */
+    void dispatchWorkers(unsigned n,
+                         const std::function<void(unsigned)> &job,
+                         bool serialize_inline) const;
 
     EngineConfig cfg_;
     unsigned resolved_threads_ = 1; ///< cfg.threads with 0 resolved

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Executor-tier implementation: one batch through one fresh unit,
+ * chip, or traverser.
+ *
+ * The submission order is the contract here. The single-unit path
+ * submits ref k with local ray id k; the chip path sends ref k to
+ * unit k % units with local id k / units (round-robin, so adjacent —
+ * typically coherent — rays land on different units and give a shared
+ * L2 cross-unit merges to find). Callers that gather a contiguous
+ * ray range into refs therefore reproduce the pre-refactor engine
+ * schedules bit-for-bit: the unit sees the same rays with the same
+ * ids in the same order.
+ */
+#include "sim/executor.hh"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "bvh/traversal.hh"
+#include "core/datapath.hh"
+#include "pipeline/component.hh"
+
+namespace rayflex::sim
+{
+
+BatchExecutor::BatchExecutor(const bvh::Bvh4 &bvh,
+                             const ExecutorConfig &cfg)
+    : bvh_(bvh), cfg_(cfg)
+{
+}
+
+bool
+BatchExecutor::chipActive() const
+{
+    return cfg_.model == ExecutionModel::CycleAccurate &&
+           cfg_.chip.active();
+}
+
+BatchResult
+BatchExecutor::runChipBatch(const BatchRayRef *refs, size_t n,
+                            const bvh::RtUnitConfig &rt_cfg) const
+{
+    const unsigned units =
+        std::clamp(cfg_.chip.units, 1u, kMaxChipUnits);
+
+    std::vector<std::unique_ptr<core::RayFlexDatapath>> dps;
+    std::vector<std::unique_ptr<bvh::RtUnit>> us;
+    dps.reserve(units);
+    us.reserve(units);
+    for (unsigned u = 0; u < units; ++u) {
+        dps.push_back(
+            std::make_unique<core::RayFlexDatapath>(cfg_.dp));
+        us.push_back(
+            std::make_unique<bvh::RtUnit>(bvh_, *dps[u], rt_cfg));
+    }
+
+    std::unique_ptr<bvh::SharedL2> shared;
+    std::vector<std::unique_ptr<bvh::SharedL2>> priv;
+    if (cfg_.chip.l2 == L2Mode::Shared) {
+        shared = std::make_unique<bvh::SharedL2>(cfg_.chip.l2cfg);
+        for (unsigned u = 0; u < units; ++u)
+            us[u]->attachSharedL2(shared.get(), u);
+    } else if (cfg_.chip.l2 == L2Mode::Private) {
+        priv.reserve(units);
+        for (unsigned u = 0; u < units; ++u) {
+            priv.push_back(
+                std::make_unique<bvh::SharedL2>(cfg_.chip.l2cfg));
+            // Every unit sits at ring stop 0 of its own private L2:
+            // no interconnect sharing to model.
+            us[u]->attachSharedL2(priv[u].get(), 0);
+        }
+    }
+
+    for (size_t k = 0; k < n; ++k)
+        us[k % units]->submit(*refs[k].ray, uint32_t(k / units),
+                              refs[k].job);
+
+    pipeline::Simulator sim;
+    for (auto &u : us)
+        u->registerWith(sim);
+    for (auto &u : us)
+        u->beginRun();
+
+    const auto all_done = [&us] {
+        for (const auto &u : us)
+            if (!u->done())
+                return false;
+        return true;
+    };
+    uint64_t ticks = 0;
+    while (!all_done() && ticks < cfg_.max_cycles_per_batch) {
+        sim.tick();
+        ++ticks;
+    }
+    if (!all_done())
+        throw std::runtime_error(
+            "Engine: chip batch exceeded max_cycles_per_batch");
+
+    BatchResult res;
+    for (auto &u : us)
+        res.unit.merge(u->endRun());
+    res.unit.chip_cycles = ticks;
+    res.sim_cycles = ticks;
+    if (shared) {
+        res.unit.l2_banks = shared->bankStats();
+    } else {
+        for (const auto &p : priv) {
+            const std::vector<bvh::L2Stats> &bs = p->bankStats();
+            if (res.unit.l2_banks.size() < bs.size())
+                res.unit.l2_banks.resize(bs.size());
+            for (size_t b = 0; b < bs.size(); ++b)
+                res.unit.l2_banks[b].merge(bs[b]);
+        }
+    }
+
+    for (size_t k = 0; k < n; ++k)
+        *refs[k].out = us[k % units]->results()[k / units];
+    return res;
+}
+
+BatchResult
+BatchExecutor::executeBatch(const BatchRayRef *refs, size_t n,
+                            bool any_hit,
+                            bvh::MemoryModel *warm) const
+{
+    bvh::RtUnitConfig rt_cfg = cfg_.rt;
+    rt_cfg.mode = any_hit ? bvh::TraversalMode::Any
+                          : bvh::TraversalMode::Closest;
+
+    if (chipActive())
+        return runChipBatch(refs, n, rt_cfg);
+
+    BatchResult res;
+    if (cfg_.model == ExecutionModel::CycleAccurate) {
+        core::RayFlexDatapath dp(cfg_.dp);
+        bvh::RtUnit unit(bvh_, dp, rt_cfg, warm);
+        for (size_t k = 0; k < n; ++k)
+            unit.submit(*refs[k].ray, uint32_t(k), refs[k].job);
+        res.unit = unit.run(cfg_.max_cycles_per_batch);
+        res.sim_cycles = res.unit.cycles;
+        for (size_t k = 0; k < n; ++k)
+            *refs[k].out = unit.results()[k];
+    } else {
+        bvh::Traverser trav(bvh_);
+        if (any_hit) {
+            for (size_t k = 0; k < n; ++k)
+                *refs[k].out =
+                    bvh::HitRecord{trav.anyHit(*refs[k].ray)};
+        } else {
+            for (size_t k = 0; k < n; ++k)
+                *refs[k].out = trav.closestHit(*refs[k].ray);
+        }
+        res.traversal = trav.stats();
+        // The Functional model has no clock; charge the streaming
+        // timeline its idealized datapath occupancy of one
+        // intersection op per cycle.
+        res.sim_cycles =
+            res.traversal.box_ops + res.traversal.tri_ops;
+    }
+    return res;
+}
+
+} // namespace rayflex::sim

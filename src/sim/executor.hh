@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Executor tier: one batch of rays through the simulation machinery.
+ *
+ * The engine stack is three layers (see ARCHITECTURE.md):
+ *
+ *   job tier        sim::RenderJob / sim::JobQueue     (sim/stream.hh)
+ *   scheduler tier  sim::BatchScheduler                (sim/stream.hh)
+ *   executor tier   sim::BatchExecutor                 (this file)
+ *
+ * The executor is the narrow seam everything above shares: it knows
+ * how to simulate ONE batch — a flat array of ray references — on a
+ * freshly constructed unit (or chip of lock-stepped units, or the
+ * functional traverser) and report the batch's stats plus its
+ * simulated-cycle cost. It holds no queues, no threads and no
+ * cross-batch state, which is what makes every layer above it free to
+ * regroup rays (sharded Engine batches, cross-job packed streaming
+ * batches) without touching simulation semantics: hit records depend
+ * only on (ray, BVH, traversal mode), and each batch's evolution
+ * depends only on its own contents.
+ */
+#ifndef RAYFLEX_SIM_EXECUTOR_HH
+#define RAYFLEX_SIM_EXECUTOR_HH
+
+#include <cstdint>
+
+#include "bvh/rt_unit.hh"
+
+namespace rayflex::sim
+{
+
+/** How each batch is evaluated. */
+enum class ExecutionModel : uint8_t {
+    /** Cycle-accurate: a bvh::RtUnit drives a pipelined datapath, so the
+     *  report carries cycle counts, utilization and memory stalls. */
+    CycleAccurate,
+    /** Functional: a bvh::Traverser invokes the datapath arithmetic
+     *  directly (same intersection decisions, no timing). Orders of
+     *  magnitude faster; the model for image rendering and validation
+     *  sweeps. */
+    Functional,
+};
+
+/** What backs the chip's per-unit L1s in chip mode. */
+enum class L2Mode : uint8_t {
+    /** No second tier: every unit's L1 terminates at its own latency
+     *  (the pre-chip memory path, bit-for-bit at units == 1). */
+    Off,
+    /** One bvh::SharedL2 serves every unit in the batch: units contend
+     *  for banks and merge cross-unit fills — the chip the tentpole
+     *  models. */
+    Shared,
+    /** One private SharedL2 per unit (no contention, no cross-unit
+     *  merges): the iso-capacity baseline BM_UnitScalingSweep compares
+     *  sharing against. Callers wanting equal total capacity derive
+     *  the per-unit geometry with bvh::L2Config::dividedAcross(units),
+     *  which rejects a sets count that does not divide evenly. */
+    Private,
+};
+
+/** Most units a chip batch may step in lock-step. */
+inline constexpr unsigned kMaxChipUnits = 16;
+
+/** Multi-unit chip mode (CycleAccurate model). Each batch is run by
+ *  `units` RT units stepping in deterministic lock-step under one
+ *  pipeline::Simulator: ray i of the batch goes to unit i % units.
+ *  The chip is freshly constructed per batch, so sharing is confined
+ *  within a batch and the engine's bit-identical-at-every-worker-count
+ *  contract holds for hits, timing and every L2 counter. */
+struct ChipConfig
+{
+    /** RT units per chip, clamped to 1..kMaxChipUnits. */
+    unsigned units = 1;
+
+    /** Second memory tier behind the per-unit L1s. Only the NodeCache
+     *  L1 backend routes misses to it; FixedLatency ignores the tier
+     *  (its flat latency already stands in for the whole system). */
+    L2Mode l2 = L2Mode::Off;
+
+    /** Geometry and timing of the L2 tier (Shared and Private). */
+    bvh::L2Config l2cfg;
+
+    /** True when this config changes anything over the single-unit
+     *  engine path (the defaults leave chip mode off). */
+    bool
+    active() const
+    {
+        return units > 1 || l2 != L2Mode::Off;
+    }
+};
+
+/** One ray of a batch, by reference: where to read the ray, where to
+ *  write its hit record, and which job (submission stream) it belongs
+ *  to. The gather/scatter indirection is what lets the scheduler tier
+ *  compose a batch from non-contiguous rays of several jobs while the
+ *  executor stays a flat loop. `job` feeds bvh::PendingRay tagging
+ *  (cross-job fetch-share accounting) and never affects results. */
+struct BatchRayRef
+{
+    const core::Ray *ray = nullptr;
+    bvh::HitRecord *out = nullptr;
+    uint32_t job = 0;
+};
+
+/** What one executed batch reports back. */
+struct BatchResult
+{
+    /** Unit counters (CycleAccurate; zero under Functional). */
+    bvh::RtUnitStats unit;
+    /** Traversal counters (Functional; zero under CycleAccurate). */
+    bvh::TraversalStats traversal;
+    /** Simulated cycles this batch occupied the executor: lock-step
+     *  chip ticks in chip mode, unit cycles single-unit, and the
+     *  idealized one-op-per-cycle datapath ops (box + triangle) under
+     *  the Functional model. The scheduler tier's simulated timeline
+     *  charges each batch exactly this. */
+    uint64_t sim_cycles = 0;
+};
+
+/** Executor configuration: everything the simulation of one batch
+ *  depends on. Mirrors the simulation-relevant subset of
+ *  sim::EngineConfig (which embeds one). */
+struct ExecutorConfig
+{
+    ExecutionModel model = ExecutionModel::CycleAccurate;
+
+    /** Per-batch RT-unit parameters (CycleAccurate); `rt.mode` is
+     *  overridden per batch from executeBatch()'s any_hit. */
+    bvh::RtUnitConfig rt;
+
+    /** Per-batch datapath configuration (CycleAccurate). */
+    core::DatapathConfig dp = core::kBaselineUnified;
+
+    /** Multi-unit chip mode; inactive by default. */
+    ChipConfig chip;
+
+    /** Simulation-cycle budget per batch before the run is declared
+     *  hung (CycleAccurate model). */
+    uint64_t max_cycles_per_batch = 100000000ull;
+};
+
+/**
+ * The executor: simulates one batch at a time, statelessly. Safe to
+ * share across worker threads — executeBatch() touches nothing but its
+ * arguments and freshly constructed locals, so any number of workers
+ * may execute distinct batches of one executor concurrently.
+ */
+class BatchExecutor
+{
+  public:
+    BatchExecutor(const bvh::Bvh4 &bvh, const ExecutorConfig &cfg);
+
+    /** True when the config routes batches through the lock-step chip
+     *  path (CycleAccurate with an active ChipConfig). */
+    bool chipActive() const;
+
+    /**
+     * Simulate `n` rays as one batch. Hit records are scattered
+     * through the refs' `out` pointers; any-hit batches fill only the
+     * `hit` flag (the usual reduced-record contract).
+     *
+     * @param warm Optional persistent MemoryModel for the warm-cache
+     *        batch mode (single-unit CycleAccurate only): the unit
+     *        serves fetches from it instead of a cold private model.
+     * @throws std::runtime_error when the batch exceeds
+     *         max_cycles_per_batch (CycleAccurate model).
+     */
+    BatchResult executeBatch(const BatchRayRef *refs, size_t n,
+                             bool any_hit,
+                             bvh::MemoryModel *warm = nullptr) const;
+
+    const ExecutorConfig &config() const { return cfg_; }
+
+  private:
+    BatchResult runChipBatch(const BatchRayRef *refs, size_t n,
+                             const bvh::RtUnitConfig &rt_cfg) const;
+
+    const bvh::Bvh4 &bvh_;
+    ExecutorConfig cfg_;
+};
+
+} // namespace rayflex::sim
+
+#endif // RAYFLEX_SIM_EXECUTOR_HH

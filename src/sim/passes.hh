@@ -28,6 +28,7 @@
 
 #include "core/raygen.hh"
 #include "sim/engine.hh"
+#include "sim/stream.hh"
 
 namespace rayflex::sim
 {
@@ -60,6 +61,23 @@ struct PassConfig
 
     /** Seed for the AO fan azimuth (core::RayGen). */
     uint64_t seed = 1;
+
+    /** Run the secondary passes as concurrent streaming JOBS through
+     *  sim::StreamingService instead of sequential engine runs: the
+     *  shadow batch (job id 1) and AO fans (job id 2) are both any-hit
+     *  and pack into shared batches (cross-job packet formation); the
+     *  bounce batch (job id 3) runs closest-hit in its own batches.
+     *  Per-pixel outputs (diffuse/lit/ao_open/bounce_hits) are
+     *  bit-identical to the sequential path — hit records depend only
+     *  on (ray, BVH, mode) — but the per-pass EngineReports
+     *  shadow/ao/bounce stay empty: mixed batches cannot be attributed
+     *  to one pass, so the counters land merged in
+     *  PassesReport::stream (and the report totals) instead. */
+    bool stream_secondary = false;
+
+    /** Scheduler knobs for stream_secondary (batch size, cross-job
+     *  packing, queue bound). */
+    StreamConfig stream;
 };
 
 /** Aggregate of a multi-pass scenario run. The per-pixel vectors are
@@ -92,6 +110,11 @@ struct PassesReport
 
     uint64_t total_rays = 0;
     double elapsed_seconds = 0; ///< sum of the passes' engine times
+
+    /** Streaming-mode report (PassConfig::stream_secondary): per-job
+     *  simulated latencies and the merged counters of the secondary
+     *  jobs. Empty when streaming is off. */
+    StreamReport stream;
 };
 
 /**

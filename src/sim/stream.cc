@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Streaming service implementation: plan, double-buffered execute,
+ * simulated timeline.
+ *
+ * finish() is three deterministic phases. PLAN: the sorted job list
+ * goes through BatchScheduler::plan, a pure function. EXECUTE: every
+ * planned batch is gathered into executor refs and run on a freshly
+ * constructed unit (sim::BatchExecutor); with multiple workers a
+ * filler thread builds gather arrays ahead of the executing workers
+ * through a bounded channel (double-buffered fill), and per-batch
+ * results land in a slot indexed by plan order — so neither the
+ * channel timing nor the worker count can influence any result.
+ * TIMELINE: batches are charged sequentially in plan order
+ * (start = max(previous end, ready tick), end = start + the batch's
+ * simulated cycles) and per-job latencies read off that timeline.
+ */
+#include "sim/stream.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rayflex::sim
+{
+
+std::vector<PlannedBatch>
+BatchScheduler::plan(const std::vector<RenderJob> &jobs) const
+{
+    std::vector<PlannedBatch> plans;
+    const size_t n = jobs.size();
+    const size_t bs = cfg_.batch_size ? cfg_.batch_size
+                                      : std::numeric_limits<size_t>::max();
+
+    std::vector<size_t> cursor(n, 0);
+    size_t remaining = 0;
+    for (const RenderJob &j : jobs)
+        remaining += j.rays.size();
+    if (remaining == 0)
+        return plans;
+
+    // The virtual formation clock: starts at the first arrival and
+    // advances at the configured planning rate per scheduled ray.
+    uint64_t v = jobs.front().arrival_tick;
+
+    std::vector<uint32_t> eligible; // job indices, (arrival, id) order
+    while (remaining > 0) {
+        // In-flight jobs: arrived by `v`, rays left. The list is in
+        // sorted order because the jobs are.
+        eligible.clear();
+        uint64_t next_arrival = 0;
+        bool have_next = false;
+        for (uint32_t j = 0; j < n; ++j) {
+            if (cursor[j] >= jobs[j].rays.size())
+                continue;
+            if (jobs[j].arrival_tick <= v) {
+                eligible.push_back(j);
+            } else if (!have_next ||
+                       jobs[j].arrival_tick < next_arrival) {
+                next_arrival = jobs[j].arrival_tick;
+                have_next = true;
+            }
+        }
+        if (eligible.empty()) {
+            // Idle gap: jump to the next arrival.
+            v = next_arrival;
+            continue;
+        }
+
+        // The earliest in-flight job sets the batch mode; only jobs of
+        // that mode may share the batch (one traversal mode per unit
+        // run). With packing off the earliest job IS the batch — the
+        // head-of-line-blocking baseline.
+        const bool mode = jobs[eligible.front()].any_hit;
+        std::erase_if(eligible, [&](uint32_t j) {
+            return jobs[j].any_hit != mode;
+        });
+        if (!cfg_.cross_job_packing)
+            eligible.resize(1);
+
+        PlannedBatch b;
+        b.any_hit = mode;
+        // Round-robin one ray per job per round: rays of different
+        // jobs interleave, so adjacent refill-queue neighbours — the
+        // rays packet formation groups — come from different jobs.
+        bool progressed = true;
+        while (b.rays.size() < bs && progressed) {
+            progressed = false;
+            for (uint32_t j : eligible) {
+                if (cursor[j] >= jobs[j].rays.size() ||
+                    b.rays.size() >= bs)
+                    continue;
+                b.rays.emplace_back(j, uint32_t(cursor[j]++));
+                progressed = true;
+            }
+        }
+
+        uint64_t ready = 0;
+        uint32_t prev_job = ~0u;
+        std::vector<uint32_t> seen;
+        for (const auto &[j, ri] : b.rays) {
+            (void)ri;
+            if (j != prev_job &&
+                std::find(seen.begin(), seen.end(), j) == seen.end())
+                seen.push_back(j);
+            prev_job = j;
+            ready = std::max(ready, jobs[j].arrival_tick);
+        }
+        b.ready_tick = ready;
+        b.n_jobs = seen.size();
+
+        remaining -= b.rays.size();
+        v += uint64_t(b.rays.size()) * cfg_.plan_cycles_per_ray;
+        plans.push_back(std::move(b));
+    }
+    return plans;
+}
+
+namespace
+{
+
+/** Nearest-rank percentile of unweighted samples. */
+uint64_t
+nearestRank(std::vector<uint64_t> v, double q)
+{
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    size_t rank = size_t(std::ceil(q * double(v.size())));
+    rank = std::clamp<size_t>(rank, 1, v.size());
+    return v[rank - 1];
+}
+
+/** Nearest-rank percentile of (value, weight) samples. */
+uint64_t
+weightedNearestRank(std::vector<std::pair<uint64_t, uint64_t>> vw,
+                    double q)
+{
+    if (vw.empty())
+        return 0;
+    std::sort(vw.begin(), vw.end());
+    uint64_t total = 0;
+    for (const auto &[v, w] : vw)
+        total += w;
+    if (total == 0)
+        return 0;
+    const uint64_t target = std::clamp<uint64_t>(
+        uint64_t(std::ceil(q * double(total))), 1, total);
+    uint64_t cum = 0;
+    for (const auto &[v, w] : vw) {
+        cum += w;
+        if (cum >= target)
+            return v;
+    }
+    return vw.back().first;
+}
+
+/** One gathered batch in flight from the filler to a worker. */
+struct FilledBatch
+{
+    size_t index = 0;
+    bool any_hit = false;
+    std::vector<BatchRayRef> refs;
+};
+
+} // namespace
+
+StreamingService::StreamingService(const Engine &engine,
+                                   const StreamConfig &cfg)
+    : engine_(engine), cfg_(cfg), queue_(cfg.queue_capacity)
+{
+    if (engine_.config().warm_cache)
+        throw std::invalid_argument(
+            "StreamingService: warm_cache engines are not streamable "
+            "(persistent per-worker cache state breaks the "
+            "bit-identical-at-every-worker-count contract)");
+    // The collector drains the bounded queue into the job table as
+    // submissions arrive, so back-pressure engages only when
+    // submitters outrun the drain by queue_capacity jobs.
+    collector_ = std::thread([this] {
+        while (std::optional<RenderJob> job = queue_.pop())
+            jobs_.push_back(std::move(*job));
+    });
+}
+
+StreamingService::~StreamingService()
+{
+    queue_.close();
+    if (collector_.joinable())
+        collector_.join();
+}
+
+void
+StreamingService::submit(RenderJob job)
+{
+    if (!queue_.push(std::move(job)))
+        throw std::logic_error(
+            "StreamingService: submit after finish");
+}
+
+StreamReport
+StreamingService::finish(const bvh::Bvh4 &bvh)
+{
+    if (finished_)
+        throw std::logic_error(
+            "StreamingService: finish called twice");
+    finished_ = true;
+    queue_.close();
+    collector_.join();
+
+    {
+        std::unordered_set<uint64_t> ids;
+        for (const RenderJob &j : jobs_)
+            if (!ids.insert(j.id).second)
+                throw std::invalid_argument(
+                    "StreamingService: duplicate job id");
+    }
+
+    // The canonical job order — and the only order anything below
+    // depends on — is the schedule itself, not submission timing.
+    std::stable_sort(jobs_.begin(), jobs_.end(),
+                     [](const RenderJob &a, const RenderJob &b) {
+                         return a.arrival_tick != b.arrival_tick
+                                    ? a.arrival_tick < b.arrival_tick
+                                    : a.id < b.id;
+                     });
+
+    const std::vector<PlannedBatch> plans =
+        BatchScheduler(cfg_).plan(jobs_);
+
+    StreamReport rep;
+    rep.batches = plans.size();
+    rep.jobs.resize(jobs_.size());
+    for (size_t j = 0; j < jobs_.size(); ++j) {
+        JobReport &jr = rep.jobs[j];
+        jr.id = jobs_[j].id;
+        jr.arrival_tick = jobs_[j].arrival_tick;
+        jr.any_hit = jobs_[j].any_hit;
+        jr.first_service_tick = jobs_[j].arrival_tick;
+        jr.completion_tick = jobs_[j].arrival_tick;
+        jr.hits.resize(jobs_[j].rays.size());
+        rep.total_rays += jobs_[j].rays.size();
+    }
+
+    const BatchExecutor exec(bvh, engine_.executorConfig());
+    std::vector<BatchResult> results(plans.size());
+
+    unsigned threads = engine_.resolved_threads_;
+    if (size_t(threads) > plans.size())
+        threads = unsigned(plans.size());
+    rep.threads_used = threads;
+
+    const auto gather = [&](size_t bi, std::vector<BatchRayRef> &refs) {
+        const PlannedBatch &b = plans[bi];
+        refs.resize(b.rays.size());
+        for (size_t k = 0; k < b.rays.size(); ++k) {
+            const auto [j, ri] = b.rays[k];
+            refs[k] = {&jobs_[j].rays[ri], &rep.jobs[j].hits[ri], j};
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (threads <= 1) {
+        std::vector<BatchRayRef> refs;
+        for (size_t bi = 0; bi < plans.size(); ++bi) {
+            gather(bi, refs);
+            results[bi] = exec.executeBatch(refs.data(), refs.size(),
+                                            plans[bi].any_hit);
+        }
+    } else {
+        // Double-buffered fill: the filler builds gather arrays ahead
+        // of the executing workers, bounded so it never runs away.
+        // Results land in plan-order slots, so channel and worker
+        // timing cannot reach any reported number.
+        BoundedQueue<FilledBatch> channel(size_t(threads) * 2);
+        std::exception_ptr fill_error;
+        std::thread filler([&] {
+            try {
+                for (size_t bi = 0; bi < plans.size(); ++bi) {
+                    FilledBatch f;
+                    f.index = bi;
+                    f.any_hit = plans[bi].any_hit;
+                    gather(bi, f.refs);
+                    if (!channel.push(std::move(f)))
+                        break; // closed early: a worker failed
+                }
+            } catch (...) {
+                fill_error = std::current_exception();
+            }
+            channel.close();
+        });
+
+        std::vector<std::exception_ptr> errors(threads);
+        std::atomic<bool> abort{false};
+        engine_.dispatchWorkers(
+            threads,
+            [&](unsigned wid) {
+                while (std::optional<FilledBatch> f = channel.pop()) {
+                    if (abort.load(std::memory_order_relaxed))
+                        continue; // drain so the filler never blocks
+                    try {
+                        results[f->index] = exec.executeBatch(
+                            f->refs.data(), f->refs.size(),
+                            f->any_hit);
+                    } catch (...) {
+                        errors[wid] = std::current_exception();
+                        abort.store(true,
+                                    std::memory_order_relaxed);
+                    }
+                }
+            },
+            false);
+        channel.close();
+        filler.join();
+        if (fill_error)
+            std::rethrow_exception(fill_error);
+        for (const std::exception_ptr &e : errors)
+            if (e)
+                std::rethrow_exception(e);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    rep.elapsed_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    // Merge batch statistics in plan order (any order would give the
+    // same sums; a fixed order makes that obvious).
+    for (const BatchResult &r : results) {
+        rep.unit.merge(r.unit);
+        rep.traversal.merge(r.traversal);
+    }
+
+    // The simulated timeline: sequential-machine semantics. Batch bi
+    // starts when the previous batch drained and its own contributors
+    // have all arrived.
+    std::vector<std::vector<std::pair<uint64_t, uint64_t>>> raylat(
+        jobs_.size());
+    std::vector<uint64_t> count(jobs_.size(), 0);
+    std::vector<uint32_t> touched;
+    std::vector<bool> first_seen(jobs_.size(), false);
+    uint64_t prev_end = 0;
+    for (size_t bi = 0; bi < plans.size(); ++bi) {
+        const PlannedBatch &b = plans[bi];
+        const uint64_t start = std::max(prev_end, b.ready_tick);
+        const uint64_t end = start + results[bi].sim_cycles;
+        prev_end = end;
+
+        touched.clear();
+        for (const auto &[j, ri] : b.rays) {
+            (void)ri;
+            if (count[j]++ == 0)
+                touched.push_back(j);
+        }
+        for (uint32_t j : touched) {
+            JobReport &jr = rep.jobs[j];
+            if (!first_seen[j]) {
+                first_seen[j] = true;
+                jr.first_service_tick = start;
+            }
+            jr.completion_tick = std::max(jr.completion_tick, end);
+            ++jr.batches;
+            if (b.n_jobs > 1)
+                ++jr.shared_batches;
+            raylat[j].emplace_back(end - jr.arrival_tick, count[j]);
+            count[j] = 0;
+        }
+    }
+    rep.makespan_ticks = prev_end;
+
+    std::vector<uint64_t> job_lat;
+    double x_sum = 0, x2_sum = 0;
+    size_t x_n = 0;
+    for (size_t j = 0; j < jobs_.size(); ++j) {
+        JobReport &jr = rep.jobs[j];
+        jr.latency = jr.completion_tick - jr.arrival_tick;
+        jr.queue_wait = jr.first_service_tick - jr.arrival_tick;
+        jr.p50_ray_latency = weightedNearestRank(raylat[j], 0.50);
+        jr.p99_ray_latency = weightedNearestRank(raylat[j], 0.99);
+        if (!jr.hits.empty()) {
+            job_lat.push_back(jr.latency);
+            const double x = double(jr.hits.size()) /
+                             double(std::max<uint64_t>(jr.latency, 1));
+            x_sum += x;
+            x2_sum += x * x;
+            ++x_n;
+        }
+    }
+    rep.p50_job_latency = nearestRank(job_lat, 0.50);
+    rep.p99_job_latency = nearestRank(job_lat, 0.99);
+    rep.fairness = (x_n && x2_sum > 0)
+                       ? (x_sum * x_sum) / (double(x_n) * x2_sum)
+                       : 0.0;
+    return rep;
+}
+
+StreamReport
+StreamingService::run(const Engine &engine, const bvh::Bvh4 &bvh,
+                      std::vector<RenderJob> jobs,
+                      const StreamConfig &cfg)
+{
+    StreamingService svc(engine, cfg);
+    for (RenderJob &j : jobs)
+        svc.submit(std::move(j));
+    return svc.finish(bvh);
+}
+
+} // namespace rayflex::sim

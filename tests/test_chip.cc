@@ -210,6 +210,28 @@ TEST(Chip, L2StatsMergeIsCommutative)
     EXPECT_EQ(ab.l2Total().misses, 7u);
 }
 
+TEST(Chip, DividedAcrossSplitsCapacityExactlyOrThrows)
+{
+    // The iso-capacity helper behind Private-vs-Shared comparisons: a
+    // per-unit config with total capacity preserved, and a hard error
+    // when the set count cannot split evenly (a silent rounding of
+    // sets would quietly change the capacity under comparison).
+    const L2Config per = kProbeL2_128KiB.dividedAcross(4);
+    EXPECT_EQ(per.sets, kProbeL2_128KiB.sets / 4);
+    EXPECT_EQ(per.ways, kProbeL2_128KiB.ways);
+    EXPECT_EQ(per.banks, kProbeL2_128KiB.banks);
+    EXPECT_EQ(per.line_bytes, kProbeL2_128KiB.line_bytes);
+    EXPECT_EQ(4 * per.capacityBytes(), kProbeL2_128KiB.capacityBytes());
+    EXPECT_EQ(kProbeL2_128KiB.dividedAcross(1), kProbeL2_128KiB);
+
+    EXPECT_THROW(kProbeL2_128KiB.dividedAcross(0),
+                 std::invalid_argument);
+    L2Config odd = kProbeL2_128KiB;
+    odd.sets = 6;
+    EXPECT_THROW(odd.dividedAcross(4), std::invalid_argument);
+    EXPECT_EQ(odd.dividedAcross(3).sets, 2u);
+}
+
 TEST(Chip, ChipReportIsWorkerCountInvariant)
 {
     // The full chip report — hits, timing, per-bank L2 counters,
@@ -284,7 +306,7 @@ TEST(Chip, SharedL2OutperformsEqualCapacityPrivateAtFourUnits)
 
     sim::EngineConfig priv = shared;
     priv.chip.l2 = sim::L2Mode::Private;
-    priv.chip.l2cfg.sets = kProbeL2_128KiB.sets / 4; // iso-capacity
+    priv.chip.l2cfg = kProbeL2_128KiB.dividedAcross(4); // iso-capacity
     sim::EngineReport p = sim::Engine(priv).run(bvh, rays);
 
     EXPECT_LT(s.unit.chip_cycles, p.unit.chip_cycles);

@@ -88,8 +88,8 @@ packetConfig(unsigned width, unsigned threads = 1,
 
 TEST(PacketStats, MergeIsCommutativeSum)
 {
-    PacketStats a{2, 10, 60, 50, 3, 16, 100, 2, 5};
-    PacketStats b{1, 7, 14, 7, 5, 8, 24, 1, 3};
+    PacketStats a{2, 10, 60, 50, 4, 3, 16, 100, 2, 5};
+    PacketStats b{1, 7, 14, 7, 2, 5, 8, 24, 1, 3};
     PacketStats ab = a, ba = b;
     ab.merge(b);
     ba.merge(a);
@@ -98,6 +98,7 @@ TEST(PacketStats, MergeIsCommutativeSum)
     EXPECT_EQ(ab.node_visits, 17u);
     EXPECT_EQ(ab.active_ray_visits, 74u);
     EXPECT_EQ(ab.fetches_shared, 57u);
+    EXPECT_EQ(ab.cross_job_fetches_shared, 6u);
     EXPECT_EQ(ab.divergence_splits, 8u);
     EXPECT_EQ(ab.rays_retired, 24u);
     EXPECT_EQ(ab.occupancy_at_retire, 124u);

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "bvh/scene.hh"
 #include "bvh/traversal.hh"
 #include "core/stages.hh"
@@ -126,6 +128,34 @@ TEST(SimEngine, DeterministicAcrossThreadCounts)
         // Merged statistics are order-independent sums: identical too.
         EXPECT_EQ(rep.unit, ref.unit) << threads << " threads";
         EXPECT_EQ(rep.batches, ref.batches);
+    }
+}
+
+TEST(SimEngine, ConcurrentRunsOnOneEngineAreSerializedAndIdentical)
+{
+    Bvh4 bvh = testScene();
+    std::vector<Ray> rays = testRays(bvh, 64);
+
+    sim::EngineConfig cfg;
+    cfg.batch_size = 48;
+    cfg.threads = 4;
+    sim::Engine engine(cfg);
+    sim::EngineReport ref = engine.run(bvh, rays);
+
+    // run() is a const entry point on shared engine state (the worker
+    // pool): two client threads racing on ONE engine must each get the
+    // solo answer, bit for bit.
+    sim::EngineReport a, b;
+    std::thread ta([&] { a = engine.run(bvh, rays); });
+    std::thread tb([&] { b = engine.run(bvh, rays); });
+    ta.join();
+    tb.join();
+    for (const sim::EngineReport *rep : {&a, &b}) {
+        ASSERT_EQ(rep->hits.size(), ref.hits.size());
+        for (size_t i = 0; i < rays.size(); ++i)
+            ASSERT_TRUE(bitIdentical(rep->hits[i], ref.hits[i])) << i;
+        EXPECT_EQ(rep->unit, ref.unit);
+        EXPECT_EQ(rep->batches, ref.batches);
     }
 }
 
