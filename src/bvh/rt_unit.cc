@@ -93,6 +93,19 @@ RtUnit::RtUnit(const Bvh4 &bvh, core::RayFlexDatapath &dp,
     }
 }
 
+RtUnit::RtUnit(const KnnIndex &index, core::RayFlexDatapath &dp,
+               const RtUnitConfig &cfg, MemoryModel *shared_mem)
+    : RtUnit(index.bvh, dp, cfg, shared_mem)
+{
+    if (!dp.config().extended)
+        throw std::invalid_argument(
+            "RtUnit k-NN mode: datapath lacks the extended distance "
+            "opcodes (build it with an extended DatapathConfig)");
+    knn_index_ = &index;
+    knn_entries_.resize(cfg_.ray_buffer_entries);
+    knn_lane_.resize(lanes_.size());
+}
+
 /** Synthetic address map shared by both schedulers (so scalar and
  *  packet mode can never diverge on addresses): the whole leaf for
  *  leaf work, one wide node otherwise. The address doubles as the
@@ -170,6 +183,293 @@ RtUnit::submit(const core::Ray &ray, uint32_t ray_id, uint32_t job)
     if (results_.size() <= ray_id)
         results_.resize(ray_id + 1);
     ++outstanding_;
+}
+
+void
+RtUnit::submitKnn(const KnnQuery &query, uint32_t query_id)
+{
+    if (!knnMode())
+        throw std::logic_error(
+            "RtUnit::submitKnn: unit was not constructed over a "
+            "KnnIndex");
+    if (!knn_index_->points.empty() &&
+        query.point.size() != knn_index_->dims)
+        throw std::invalid_argument("knn: query dimension mismatch");
+    pending_knn_.push_back({query, query_id});
+    if (knn_results_.size() <= query_id)
+        knn_results_.resize(query_id + 1);
+    ++outstanding_;
+}
+
+std::vector<core::DatapathInput>
+RtUnit::knnCandidateBeats(size_t slot, uint32_t tri) const
+{
+    const KnnEntry &e = knn_entries_[slot];
+    const DataPoint &p = knn_index_->points[bvh_.tris[tri].id];
+    // The tag routes the out-of-order final beat back to its query and
+    // candidate: entry slot in the high half, triangle index (unique
+    // per candidate) in the low half.
+    return knnJobBeats(e.point.data(), p.coords.data(),
+                       knn_index_->dims, e.metric,
+                       (uint64_t(slot) << 32) | tri);
+}
+
+/** k-NN publish: each lane first finishes the candidate it is
+ *  streaming (all beats of one job stay on one lane, in order, so the
+ *  lane's accumulator only ever holds that job's partial sums); free
+ *  lanes claim the first pending candidates in entry order, distinct
+ *  candidates per lane. */
+void
+RtUnit::publishKnn()
+{
+    std::vector<uint32_t> claimed(knn_entries_.size(), 0);
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+        KnnLaneJob &job = knn_lane_[l];
+        if (job.active) {
+            lanes_[l]->in().valid = true;
+            lanes_[l]->in().bits = job.beats[job.next_beat];
+            offers_[l].entry =
+                size_t(job.beats[job.next_beat].tag >> 32);
+            continue;
+        }
+        bool found = false;
+        for (size_t i = 0; i < knn_entries_.size(); ++i) {
+            const KnnEntry &e = knn_entries_[i];
+            if (e.state != EntryState::ReadyTri ||
+                claimed[i] >= e.pending_cands.size())
+                continue;
+            const uint32_t tri = e.pending_cands[claimed[i]];
+            lanes_[l]->in().valid = true;
+            lanes_[l]->in().bits = knnCandidateBeats(i, tri).front();
+            offers_[l] = {i, claimed[i]};
+            ++claimed[i];
+            found = true;
+            break;
+        }
+        if (!found)
+            lanes_[l]->in().valid = false;
+    }
+}
+
+void
+RtUnit::finishKnnQuery(KnnEntry &e)
+{
+    knn_results_[e.query_id] = KnnResult{e.topk.sorted()};
+    ++stats_.knn.queries;
+    --outstanding_;
+    e.state = EntryState::Idle;
+    e.draining = false;
+}
+
+void
+RtUnit::popKnnFrontier(KnnEntry &e)
+{
+    const bool prune = e.metric == KnnMetric::Euclidean;
+    while (!e.frontier.empty()) {
+        std::pop_heap(e.frontier.begin(), e.frontier.end(),
+                      KnnFrontierAfter{});
+        const KnnFrontierItem item = e.frontier.back();
+        e.frontier.pop_back();
+        if (prune && e.topk.full() &&
+            knnPrunable(item.lb, e.topk.radius())) {
+            // Heap-ordered frontier: once the best remaining item is
+            // prunable, so is everything behind it.
+            stats_.knn.pruned += 1 + e.frontier.size();
+            e.frontier.clear();
+            break;
+        }
+        e.fetch_is_leaf = item.is_leaf;
+        e.fetch_index = item.index;
+        e.fetch_count = item.count;
+        e.state = EntryState::NeedFetch;
+        return;
+    }
+    // No work left to fetch; the query finishes once every started
+    // candidate's score has drained from the pipeline.
+    e.state = EntryState::InFlight;
+    e.draining = true;
+    maybeFinishKnn(e);
+}
+
+void
+RtUnit::expandKnnNode(KnnEntry &e)
+{
+    ++stats_.knn.nodes_visited;
+    const bool prune = e.metric == KnnMetric::Euclidean;
+    const WideNode &node = bvh_.nodes[e.fetch_index];
+    for (const WideNode::Child &c : node.child) {
+        if (c.kind == WideNode::Kind::Empty)
+            continue;
+        const double lb =
+            prune ? knnBoxLowerBound(c.bounds, e.point.data(),
+                                     knn_index_->dims)
+                  : 0.0;
+        if (prune && e.topk.full() &&
+            knnPrunable(lb, e.topk.radius())) {
+            ++stats_.knn.pruned;
+            continue;
+        }
+        e.frontier.push_back({lb, c.kind == WideNode::Kind::Leaf,
+                              c.index, c.count, e.seq++});
+        std::push_heap(e.frontier.begin(), e.frontier.end(),
+                       KnnFrontierAfter{});
+    }
+    if (e.frontier.size() > stats_.knn.frontier_peak)
+        stats_.knn.frontier_peak = e.frontier.size();
+}
+
+void
+RtUnit::handleKnnResult(const core::DatapathOutput &out)
+{
+    // Every beat of a job produces an output; only the final beat
+    // (reset echo set) carries the fully accumulated distance.
+    const bool final_beat = out.op == Opcode::Euclidean
+                                ? out.euclidean_reset
+                                : out.angular_reset;
+    if (!final_beat)
+        return;
+    KnnEntry &e = knn_entries_[size_t(out.tag >> 32)];
+    const uint32_t tri = uint32_t(out.tag);
+    const float score =
+        out.op == Opcode::Euclidean
+            ? fromBits(out.euclidean_accumulator)
+            : golden::knnAngularScore(
+                  fromBits(out.angular_dot_product),
+                  fromBits(out.angular_norm));
+    e.topk.offer(score, knn_index_->points[bvh_.tris[tri].id].id);
+    --e.inflight_cands;
+    maybeFinishKnn(e);
+}
+
+/** k-NN advance: the same (a)-(d) steps over query entries. Node
+ *  expansion (the double-precision box lower bound) happens host-side
+ *  at fetch arrival; only candidate distances consume datapath
+ *  beats. */
+void
+RtUnit::advanceKnn()
+{
+    // (a) Input handshake outcome, per lane. Accepted starts are
+    // claimed in descending lane order so a shared entry's pending
+    // positions (claimed ascending in publishKnn) stay valid.
+    int waiting_mem = -1;
+    std::array<bool, kMaxIssueWidth> fired{};
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+        const auto &in = lanes_[l]->in();
+        if (offers_[l].entry != kNoOffer && in.valid && in.ready) {
+            fired[l] = true;
+            ++stats_.datapath_beats;
+            ++stats_.knn.distance_beats;
+        } else {
+            ++stats_.datapath_idle;
+            if (waiting_mem < 0) {
+                waiting_mem = 0;
+                for (const KnnEntry &e : knn_entries_) {
+                    if (e.state == EntryState::Fetching ||
+                        e.state == EntryState::NeedFetch) {
+                        waiting_mem = 1;
+                        break;
+                    }
+                }
+            }
+            if (waiting_mem)
+                ++stats_.stall_on_memory;
+        }
+    }
+    for (size_t l = lanes_.size(); l-- > 0;) {
+        if (!fired[l])
+            continue;
+        KnnLaneJob &job = knn_lane_[l];
+        if (job.active) {
+            ++job.next_beat;
+            if (job.next_beat == job.beats.size())
+                job = KnnLaneJob{}; // last beat accepted: lane free
+            continue;
+        }
+        // First beat of a new candidate: take it off the entry and
+        // lock the lane until the job's last beat is accepted.
+        KnnEntry &e = knn_entries_[offers_[l].entry];
+        const size_t pos = offers_[l].beat;
+        const uint32_t tri = e.pending_cands[pos];
+        e.pending_cands.erase(e.pending_cands.begin() +
+                              ptrdiff_t(pos));
+        ++e.inflight_cands;
+        ++stats_.knn.candidates;
+        job.beats = knnCandidateBeats(offers_[l].entry, tri);
+        job.next_beat = 1;
+        job.active = job.next_beat < job.beats.size();
+        if (!job.active)
+            job = KnnLaneJob{};
+    }
+    // Entries whose leaf work fully issued move on to the next
+    // frontier item (the next fetch overlaps the in-flight scores).
+    for (KnnEntry &e : knn_entries_) {
+        if (e.state == EntryState::ReadyTri &&
+            e.pending_cands.empty())
+            popKnnFrontier(e);
+    }
+
+    // (b) Output handshake outcome, per lane.
+    for (core::RayFlexDatapath *lane : lanes_) {
+        if (lane->out().valid && lane->out().ready)
+            handleKnnResult(lane->out().bits);
+    }
+
+    // (c) Memory: completion-ordered retirement, then issue — same
+    // shared L1 / MSHR path as the ray schedulers.
+    mshrs_.retire(now_);
+    for (auto it = mem_queue_.begin(); it != mem_queue_.end();) {
+        if (it->done_cycle <= now_) {
+            KnnEntry &e = knn_entries_[it->entry];
+            if (e.fetch_is_leaf) {
+                ++stats_.knn.leaves_visited;
+                for (uint32_t t = 0; t < e.fetch_count; ++t)
+                    e.pending_cands.push_back(e.fetch_index + t);
+                e.state = EntryState::ReadyTri;
+            } else {
+                expandKnnNode(e);
+                popKnnFrontier(e);
+            }
+            it = mem_queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    unsigned issued = 0;
+    for (size_t i = 0; i < knn_entries_.size(); ++i) {
+        KnnEntry &e = knn_entries_[i];
+        if (e.state != EntryState::NeedFetch)
+            continue;
+        if (!mshrs_.enabled() &&
+            issued >= cfg_.mem_requests_per_cycle)
+            break;
+        if (issueFetch(i, e.fetch_is_leaf, e.fetch_index,
+                       e.fetch_count, issued))
+            e.state = EntryState::Fetching;
+    }
+
+    // (d) Refill free slots with queued queries.
+    for (size_t i = 0;
+         i < knn_entries_.size() && !pending_knn_.empty(); ++i) {
+        KnnEntry &e = knn_entries_[i];
+        if (e.state != EntryState::Idle)
+            continue;
+        PendingKnn pk = std::move(pending_knn_.front());
+        pending_knn_.pop_front();
+        e = KnnEntry{};
+        e.query_id = pk.query_id;
+        e.k = pk.query.k;
+        e.metric = pk.query.metric;
+        e.point = std::move(pk.query.point);
+        e.topk.reset(e.k);
+        if (knn_index_->points.empty() || e.k == 0) {
+            finishKnnQuery(e); // degenerate queries finish at admission
+            continue;
+        }
+        e.frontier.push_back({0.0, false, 0, 0, e.seq++});
+        if (e.frontier.size() > stats_.knn.frontier_peak)
+            stats_.knn.frontier_peak = e.frontier.size();
+        popKnnFrontier(e);
+    }
 }
 
 void
@@ -294,6 +594,10 @@ RtUnit::publish(uint64_t)
     for (LaneOffer &o : offers_)
         o = LaneOffer{};
 
+    if (knnMode()) {
+        publishKnn();
+        return;
+    }
     if (packetized()) {
         publishPacket();
         return;
@@ -529,11 +833,16 @@ RtUnit::advance(uint64_t cycle)
     // the cycle its own rays completed). Unreachable under run(),
     // whose loop stops at outstanding_ == 0 — single-unit schedules
     // are bit-for-bit unaffected.
-    if (outstanding_ == 0 && pending_rays_.empty())
+    if (outstanding_ == 0 && pending_rays_.empty() &&
+        pending_knn_.empty())
         return;
     now_ = cycle;
     ++stats_.cycles;
 
+    if (knnMode()) {
+        advanceKnn();
+        return;
+    }
     if (packetized()) {
         advancePacket();
         return;
@@ -651,6 +960,8 @@ RtUnit::beginRun()
     mshrs_.reset();
     for (auto &q : lane_inflight_)
         q.clear();
+    for (KnnLaneJob &j : knn_lane_)
+        j = KnnLaneJob{};
     if (mem_is_shared_)
         mem_before_ = mem_->stats(); // warm: keep contents, report delta
     else {

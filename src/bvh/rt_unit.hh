@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "bvh/knn.hh"
 #include "bvh/mem_model.hh"
 #include "bvh/packet.hh"
 #include "bvh/traversal.hh"
@@ -116,6 +117,11 @@ struct RtUnitStats
      *  (mshrs == 0). Same commutative-sum merge contract. */
     MshrStats mshr;
 
+    /** k-NN traversal counters; all-zero for ray workloads. Sums plus
+     *  a max-merged frontier high-water mark — still commutative and
+     *  associative, so the sharded-aggregation contract holds. */
+    KnnStats knn;
+
     /** Chip wall-clock cycles (sim::Engine chip mode): lock-step ticks
      *  of the whole chip, summed across batches. Unlike `cycles` (which
      *  every unit accumulates until its OWN rays complete), one chip
@@ -163,6 +169,7 @@ struct RtUnitStats
         mem.merge(o.mem);
         packet.merge(o.packet);
         mshr.merge(o.mshr);
+        knn.merge(o.knn);
         chip_cycles += o.chip_cycles;
         if (l2_banks.size() < o.l2_banks.size())
             l2_banks.resize(o.l2_banks.size());
@@ -190,6 +197,35 @@ class RtUnit : public pipeline::Component
     RtUnit(const Bvh4 &bvh, core::RayFlexDatapath &dp,
            const RtUnitConfig &cfg = {},
            MemoryModel *shared_mem = nullptr);
+
+    /**
+     * k-NN mode: the unit walks `index` for submitKnn() queries
+     * instead of tracing rays. Same memory system (shared L1, MSHR
+     * file, optional chip-level L2 via attachSharedL2) and the same
+     * synthetic address map over index.bvh; node expansion and the
+     * best-first frontier live in the unit while every candidate
+     * distance is evaluated as Euclidean/cosine beats through the
+     * datapath lanes. The packet scheduler does not apply to k-NN
+     * queries (a query is its own traversal; PacketConfig is accepted
+     * and ignored). The index must outlive the unit.
+     * @throws std::invalid_argument when `dp` was not built with an
+     *         extended DatapathConfig (the distance opcodes are
+     *         missing otherwise).
+     */
+    RtUnit(const KnnIndex &index, core::RayFlexDatapath &dp,
+           const RtUnitConfig &cfg = {},
+           MemoryModel *shared_mem = nullptr);
+
+    /** Queue a k-NN query (k-NN mode only); the result appears at
+     *  knnResults()[query_id]. */
+    void submitKnn(const KnnQuery &query, uint32_t query_id);
+
+    /** k-NN results in query-id order (parallel to submissions). */
+    const std::vector<KnnResult> &
+    knnResults() const
+    {
+        return knn_results_;
+    }
 
     /** Queue a ray for traversal; results appear in results(). `job`
      *  tags the submission stream the ray belongs to (bvh::PendingRay)
@@ -288,6 +324,80 @@ class RtUnit : public pipeline::Component
      *  mem-issue bandwidth, leaving the slot in NeedFetch. */
     bool issueFetch(size_t slot, bool is_leaf, uint32_t index,
                     uint32_t count, unsigned &issued);
+
+    // ----- k-NN mode (constructed over a KnnIndex) -----
+
+    /** One in-flight k-NN query: its own best-first frontier, fetch
+     *  target, pending candidate jobs and top-k set. */
+    struct KnnEntry
+    {
+        EntryState state = EntryState::Idle;
+        uint32_t query_id = 0;
+        uint32_t k = 0;
+        KnnMetric metric = KnnMetric::Euclidean;
+        std::vector<float> point;
+        KnnTopK topk;
+        /** Min-heap (KnnFrontierAfter) of unvisited subtrees. */
+        std::vector<KnnFrontierItem> frontier;
+        uint64_t seq = 0; ///< frontier tie-break sequence
+        bool fetch_is_leaf = false;
+        uint32_t fetch_index = 0, fetch_count = 0;
+        /** Fetched-leaf candidates (tri indices) not yet started. */
+        std::deque<uint32_t> pending_cands;
+        /** Candidates started on a lane, score not yet drained. */
+        uint32_t inflight_cands = 0;
+        /** All frontier/pending work exhausted; waiting on inflight
+         *  scores (EntryState::Idle plus this flag would be ambiguous
+         *  with a free slot, hence the extra state). */
+        bool draining = false;
+    };
+
+    /** A candidate's beats streaming down one lane. The lane is locked
+     *  to the candidate from the first accepted beat until the last
+     *  beat is accepted, so two same-kind jobs never interleave within
+     *  one lane's accumulator. */
+    struct KnnLaneJob
+    {
+        bool active = false;
+        std::vector<core::DatapathInput> beats;
+        size_t next_beat = 0;
+    };
+
+    /** A queued query waiting for a free entry slot. */
+    struct PendingKnn
+    {
+        KnnQuery query;
+        uint32_t query_id = 0;
+    };
+
+    bool knnMode() const { return knn_index_ != nullptr; }
+    void publishKnn();
+    void advanceKnn();
+    /** Pop the next non-prunable frontier item into the fetch target
+     *  (state NeedFetch), or mark the entry draining. */
+    void popKnnFrontier(KnnEntry &e);
+    /** Host-side expansion of a fetched node: push surviving children
+     *  onto the frontier. */
+    void expandKnnNode(KnnEntry &e);
+    void handleKnnResult(const core::DatapathOutput &out);
+    void finishKnnQuery(KnnEntry &e);
+    /** Finish a draining entry once its last in-flight score landed. */
+    void
+    maybeFinishKnn(KnnEntry &e)
+    {
+        if (e.draining && e.inflight_cands == 0)
+            finishKnnQuery(e);
+    }
+    /** The distance beats of candidate (triangle) `tri` for entry
+     *  slot `slot`'s query. */
+    std::vector<core::DatapathInput> knnCandidateBeats(size_t slot,
+                                                      uint32_t tri) const;
+
+    const KnnIndex *knn_index_ = nullptr;
+    std::vector<KnnEntry> knn_entries_;
+    std::vector<KnnLaneJob> knn_lane_;
+    std::deque<PendingKnn> pending_knn_;
+    std::vector<KnnResult> knn_results_;
 
     /** True when the packet/wavefront scheduler is active. */
     bool packetized() const { return cfg_.packet.width > 1; }

@@ -9,6 +9,7 @@
  */
 #include "core/golden.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/quadsort.hh"
@@ -184,6 +185,56 @@ cosineBeat(const std::array<F32, kEuclideanWidth> &a,
         }
     }
     return {toBits(dot[0]), toBits(sq[0])};
+}
+
+float
+knnScore(const float *query, const float *candidate, size_t dims,
+         bool cosine)
+{
+    const size_t width = cosine ? kCosineWidth : kEuclideanWidth;
+    if (!cosine) {
+        float acc = 0.0f;
+        for (size_t base = 0; base < dims; base += width) {
+            std::array<F32, kEuclideanWidth> a{}, b{};
+            uint16_t mask = 0;
+            for (size_t i = 0; i < width && base + i < dims; ++i) {
+                a[i] = toBits(query[base + i]);
+                b[i] = toBits(candidate[base + i]);
+                mask |= uint16_t(1u << i);
+            }
+            acc = acc + fromBits(euclideanBeat(a, b, mask));
+        }
+        return acc;
+    }
+    float dot = 0.0f, norm = 0.0f;
+    for (size_t base = 0; base < dims; base += width) {
+        std::array<F32, kEuclideanWidth> a{}, b{};
+        uint16_t mask = 0;
+        for (size_t i = 0; i < width && base + i < dims; ++i) {
+            a[i] = toBits(query[base + i]);
+            b[i] = toBits(candidate[base + i]);
+            mask |= uint16_t(1u << i);
+        }
+        CosineBeat cb = cosineBeat(a, b, mask);
+        dot = dot + fromBits(cb.dot);
+        norm = norm + fromBits(cb.norm);
+    }
+    return knnAngularScore(dot, norm);
+}
+
+std::vector<KnnNeighbor>
+knnScan(const float *query, size_t dims,
+        const std::vector<KnnCandidate> &candidates, size_t k,
+        bool cosine)
+{
+    std::vector<KnnNeighbor> all;
+    all.reserve(candidates.size());
+    for (const KnnCandidate &c : candidates)
+        all.push_back({knnScore(query, c.coords, dims, cosine), c.id});
+    std::sort(all.begin(), all.end(), knnCloser);
+    if (all.size() > k)
+        all.resize(k);
+    return all;
 }
 
 namespace

@@ -17,7 +17,9 @@
 #ifndef RAYFLEX_CORE_GOLDEN_HH
 #define RAYFLEX_CORE_GOLDEN_HH
 
+#include <cmath>
 #include <optional>
+#include <vector>
 
 #include "core/io_spec.hh"
 
@@ -82,6 +84,67 @@ TriangleResult rayTriangleUnrounded(const Ray &ray, const Triangle &tri);
 F32 euclideanBeatUnrounded(const std::array<F32, kEuclideanWidth> &a,
                            const std::array<F32, kEuclideanWidth> &b,
                            uint16_t mask);
+
+// ----- k-NN brute-force reference (Section V-A case study) -----
+//
+// Golden-model layer for the k-NN query engines: the per-candidate
+// score walks the vectors in datapath beat order (euclideanBeat /
+// cosineBeat chunks accumulated one FP32 addition per beat), so the
+// pipelined datapath, the functional traversal and this brute-force
+// scan all agree bit-for-bit — knnScan is the ground truth every k-NN
+// result in the repo is pinned against.
+
+/** A scored neighbor: the metric score and the caller's point label. */
+struct KnnNeighbor
+{
+    float score = 0;
+    uint32_t id = 0;
+
+    friend bool operator==(const KnnNeighbor &,
+                           const KnnNeighbor &) = default;
+};
+
+/** Strict total order on neighbors: ascending (score, id). Ids are
+ *  unique per point set, so ties at equal distance resolve
+ *  deterministically and every top-k set has exactly one sorted form. */
+inline bool
+knnCloser(const KnnNeighbor &a, const KnnNeighbor &b)
+{
+    return a.score < b.score || (a.score == b.score && a.id < b.id);
+}
+
+/** One candidate point offered to knnScan: a borrowed coordinate
+ *  pointer (dims floats) and its label. */
+struct KnnCandidate
+{
+    const float *coords = nullptr;
+    uint32_t id = 0;
+};
+
+/** Angular score from the datapath's two cosine accumulators. The
+ *  query norm is a positive per-query constant, so dropping it
+ *  preserves the neighbor ranking; a zero-norm candidate scores a
+ *  sentinel 2 (beyond any true angular distance). Shared by golden,
+ *  functional and cycle-accurate paths so the score arithmetic cannot
+ *  diverge. */
+inline float
+knnAngularScore(float dot, float norm)
+{
+    return norm > 0.0f ? 1.0f - dot / std::sqrt(norm) : 2.0f;
+}
+
+/** Golden distance of one query/candidate pair: beat-ordered FP32
+ *  partial sums, one accumulation per beat — bit-identical to the
+ *  extended pipeline evaluating the same job. Squared Euclidean
+ *  distance, or the knnAngularScore when `cosine` is set. */
+float knnScore(const float *query, const float *candidate, size_t dims,
+               bool cosine);
+
+/** Brute-force exact k-NN: score every candidate with knnScore, sort
+ *  ascending by (score, id), keep the first min(k, n). */
+std::vector<KnnNeighbor> knnScan(const float *query, size_t dims,
+                                 const std::vector<KnnCandidate> &candidates,
+                                 size_t k, bool cosine);
 
 // ----- double-precision geometric references (property tests) -----
 

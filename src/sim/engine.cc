@@ -263,4 +263,76 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
     return report;
 }
 
+KnnReport
+Engine::runKnn(const bvh::KnnIndex &index,
+               const std::vector<bvh::KnnQuery> &queries) const
+{
+    if (cfg_.model == ExecutionModel::CycleAccurate &&
+        !cfg_.dp.extended)
+        throw std::invalid_argument(
+            "Engine::runKnn: EngineConfig::dp must be an extended "
+            "datapath config (e.g. core::kExtendedUnified)");
+    const BatchExecutor exec(index, executorConfig());
+
+    KnnReport report;
+    report.results.resize(queries.size());
+
+    const std::vector<core::BatchRange> batches =
+        core::sliceBatches(queries.size(), cfg_.batch_size);
+    report.batches = batches.size();
+    if (batches.empty()) {
+        report.threads_used = 0;
+        return report;
+    }
+
+    unsigned threads = resolved_threads_;
+    if (size_t(threads) > batches.size())
+        threads = unsigned(batches.size());
+    report.threads_used = threads;
+
+    std::atomic<size_t> next_batch{0};
+    std::vector<BatchResult> tallies(threads);
+    std::vector<std::exception_ptr> errors(threads);
+
+    auto worker = [&](unsigned wid) {
+        try {
+            std::vector<KnnBatchRef> refs;
+            for (size_t bi = next_batch.fetch_add(1);
+                 bi < batches.size(); bi = next_batch.fetch_add(1)) {
+                const core::BatchRange r = batches[bi];
+                refs.resize(r.size());
+                for (size_t i = r.begin; i < r.end; ++i)
+                    refs[i - r.begin] = {&queries[i],
+                                         &report.results[i]};
+                BatchResult br =
+                    exec.executeKnnBatch(refs.data(), refs.size());
+                tallies[wid].unit.merge(br.unit);
+                tallies[wid].knn.merge(br.knn);
+            }
+        } catch (...) {
+            errors[wid] = std::current_exception();
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    dispatchWorkers(threads, worker, false);
+    const auto t1 = std::chrono::steady_clock::now();
+    report.elapsed_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    for (const std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+
+    for (const BatchResult &t : tallies) {
+        report.unit.merge(t.unit);
+        report.knn.merge(t.knn);
+    }
+    // One traversal-counter field whatever the model: the cycle
+    // model's counters live inside the unit stats.
+    if (cfg_.model == ExecutionModel::CycleAccurate)
+        report.knn = report.unit.knn;
+    return report;
+}
+
 } // namespace rayflex::sim

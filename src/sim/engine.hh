@@ -173,6 +173,31 @@ struct EngineReport
     }
 };
 
+/** Aggregate result of an engine k-NN run (Engine::runKnn). */
+struct KnnReport
+{
+    /** Neighbor lists in query order (parallel to the input), each
+     *  sorted ascending by (score, id) — bit-identical across worker
+     *  counts, execution models and every memory/issue knob. */
+    std::vector<bvh::KnnResult> results;
+
+    /** Merged RT-unit counters (CycleAccurate model); `unit.knn`
+     *  carries the cycle model's traversal counters. */
+    bvh::RtUnitStats unit;
+
+    /** Merged k-NN traversal counters under EITHER model: the
+     *  Functional traverser's own counters, or a copy of unit.knn
+     *  under CycleAccurate — so consumers can read one field
+     *  regardless of model. */
+    bvh::KnnStats knn;
+
+    size_t batches = 0;
+    unsigned threads_used = 0;
+
+    /** Host wall-clock (not part of the determinism contract). */
+    double elapsed_seconds = 0;
+};
+
 /**
  * The batch simulation engine. A run() call carries no simulation
  * state in or out: every batch goes through a sim::BatchExecutor that
@@ -208,6 +233,23 @@ class Engine
     EngineReport run(const bvh::Bvh4 &bvh,
                      const std::vector<core::Ray> &rays,
                      bool any_hit) const;
+
+    /**
+     * Answer every k-NN query against the index and merge the
+     * statistics — the second query kind the engine serves, sharded
+     * and merged under exactly the ray contract: batch decomposition
+     * independent of the worker count, a fresh unit (or chip) per
+     * batch, commutative-associative stats merge, so results AND
+     * merged counters are bit-identical at every thread count.
+     * EngineConfig::warm_cache is ignored (k-NN batches always run
+     * cold); `any_hit` does not apply; chip mode round-robins queries
+     * over the units.
+     * @throws std::invalid_argument under the CycleAccurate model when
+     *         EngineConfig::dp is not an extended config (the distance
+     *         opcodes are missing otherwise).
+     */
+    KnnReport runKnn(const bvh::KnnIndex &index,
+                     const std::vector<bvh::KnnQuery> &queries) const;
 
     const EngineConfig &config() const { return cfg_; }
 

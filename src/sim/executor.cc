@@ -32,6 +32,12 @@ BatchExecutor::BatchExecutor(const bvh::Bvh4 &bvh,
 {
 }
 
+BatchExecutor::BatchExecutor(const bvh::KnnIndex &index,
+                             const ExecutorConfig &cfg)
+    : bvh_(index.bvh), knn_index_(&index), cfg_(cfg)
+{
+}
+
 bool
 BatchExecutor::chipActive() const
 {
@@ -118,6 +124,119 @@ BatchExecutor::runChipBatch(const BatchRayRef *refs, size_t n,
 
     for (size_t k = 0; k < n; ++k)
         *refs[k].out = us[k % units]->results()[k / units];
+    return res;
+}
+
+BatchResult
+BatchExecutor::runChipKnnBatch(const KnnBatchRef *refs, size_t n) const
+{
+    const unsigned units =
+        std::clamp(cfg_.chip.units, 1u, kMaxChipUnits);
+
+    std::vector<std::unique_ptr<core::RayFlexDatapath>> dps;
+    std::vector<std::unique_ptr<bvh::RtUnit>> us;
+    dps.reserve(units);
+    us.reserve(units);
+    for (unsigned u = 0; u < units; ++u) {
+        dps.push_back(
+            std::make_unique<core::RayFlexDatapath>(cfg_.dp));
+        us.push_back(std::make_unique<bvh::RtUnit>(*knn_index_,
+                                                   *dps[u], cfg_.rt));
+    }
+
+    std::unique_ptr<bvh::SharedL2> shared;
+    std::vector<std::unique_ptr<bvh::SharedL2>> priv;
+    if (cfg_.chip.l2 == L2Mode::Shared) {
+        shared = std::make_unique<bvh::SharedL2>(cfg_.chip.l2cfg);
+        for (unsigned u = 0; u < units; ++u)
+            us[u]->attachSharedL2(shared.get(), u);
+    } else if (cfg_.chip.l2 == L2Mode::Private) {
+        priv.reserve(units);
+        for (unsigned u = 0; u < units; ++u) {
+            priv.push_back(
+                std::make_unique<bvh::SharedL2>(cfg_.chip.l2cfg));
+            us[u]->attachSharedL2(priv[u].get(), 0);
+        }
+    }
+
+    // Same round-robin as the ray path: query k goes to unit
+    // k % units with local id k / units.
+    for (size_t k = 0; k < n; ++k)
+        us[k % units]->submitKnn(*refs[k].query, uint32_t(k / units));
+
+    pipeline::Simulator sim;
+    for (auto &u : us)
+        u->registerWith(sim);
+    for (auto &u : us)
+        u->beginRun();
+
+    const auto all_done = [&us] {
+        for (const auto &u : us)
+            if (!u->done())
+                return false;
+        return true;
+    };
+    uint64_t ticks = 0;
+    while (!all_done() && ticks < cfg_.max_cycles_per_batch) {
+        sim.tick();
+        ++ticks;
+    }
+    if (!all_done())
+        throw std::runtime_error(
+            "Engine: chip k-NN batch exceeded max_cycles_per_batch");
+
+    BatchResult res;
+    for (auto &u : us)
+        res.unit.merge(u->endRun());
+    res.unit.chip_cycles = ticks;
+    res.sim_cycles = ticks;
+    if (shared) {
+        res.unit.l2_banks = shared->bankStats();
+    } else {
+        for (const auto &p : priv) {
+            const std::vector<bvh::L2Stats> &bs = p->bankStats();
+            if (res.unit.l2_banks.size() < bs.size())
+                res.unit.l2_banks.resize(bs.size());
+            for (size_t b = 0; b < bs.size(); ++b)
+                res.unit.l2_banks[b].merge(bs[b]);
+        }
+    }
+
+    for (size_t k = 0; k < n; ++k)
+        *refs[k].out = us[k % units]->knnResults()[k / units];
+    return res;
+}
+
+BatchResult
+BatchExecutor::executeKnnBatch(const KnnBatchRef *refs, size_t n) const
+{
+    if (!knn_index_)
+        throw std::logic_error(
+            "BatchExecutor::executeKnnBatch: executor was not "
+            "constructed over a KnnIndex");
+
+    if (chipActive())
+        return runChipKnnBatch(refs, n);
+
+    BatchResult res;
+    if (cfg_.model == ExecutionModel::CycleAccurate) {
+        core::RayFlexDatapath dp(cfg_.dp);
+        bvh::RtUnit unit(*knn_index_, dp, cfg_.rt);
+        for (size_t k = 0; k < n; ++k)
+            unit.submitKnn(*refs[k].query, uint32_t(k));
+        res.unit = unit.run(cfg_.max_cycles_per_batch);
+        res.sim_cycles = res.unit.cycles;
+        for (size_t k = 0; k < n; ++k)
+            *refs[k].out = unit.knnResults()[k];
+    } else {
+        bvh::KnnTraversal trav(*knn_index_);
+        for (size_t k = 0; k < n; ++k)
+            *refs[k].out = trav.search(*refs[k].query);
+        res.knn = trav.stats();
+        // No clock in the Functional model; charge the idealized
+        // one-distance-beat-per-cycle datapath occupancy.
+        res.sim_cycles = res.knn.distance_beats;
+    }
     return res;
 }
 

@@ -102,13 +102,26 @@ struct BatchRayRef
     uint32_t job = 0;
 };
 
+/** One k-NN query of a batch, by reference: where to read the query
+ *  and where to write its neighbor list. The k-NN analogue of
+ *  BatchRayRef. */
+struct KnnBatchRef
+{
+    const bvh::KnnQuery *query = nullptr;
+    bvh::KnnResult *out = nullptr;
+};
+
 /** What one executed batch reports back. */
 struct BatchResult
 {
-    /** Unit counters (CycleAccurate; zero under Functional). */
+    /** Unit counters (CycleAccurate; zero under Functional). For k-NN
+     *  batches the traversal counters ride in `unit.knn`. */
     bvh::RtUnitStats unit;
     /** Traversal counters (Functional; zero under CycleAccurate). */
     bvh::TraversalStats traversal;
+    /** k-NN traversal counters (Functional k-NN batches; zero
+     *  elsewhere — CycleAccurate k-NN counters live in unit.knn). */
+    bvh::KnnStats knn;
     /** Simulated cycles this batch occupied the executor: lock-step
      *  chip ticks in chip mode, unit cycles single-unit, and the
      *  idealized one-op-per-cycle datapath ops (box + triangle) under
@@ -150,6 +163,12 @@ class BatchExecutor
   public:
     BatchExecutor(const bvh::Bvh4 &bvh, const ExecutorConfig &cfg);
 
+    /** k-NN executor: batches are k-NN queries against `index`
+     *  (executeKnnBatch) instead of rays. The ray path stays available
+     *  over index.bvh, though a k-NN executor is normally used for one
+     *  kind of batch only. The index must outlive the executor. */
+    BatchExecutor(const bvh::KnnIndex &index, const ExecutorConfig &cfg);
+
     /** True when the config routes batches through the lock-step chip
      *  path (CycleAccurate with an active ChipConfig). */
     bool chipActive() const;
@@ -169,13 +188,30 @@ class BatchExecutor
                              bool any_hit,
                              bvh::MemoryModel *warm = nullptr) const;
 
+    /**
+     * Simulate `n` k-NN queries as one batch (k-NN executors only).
+     * Results scatter through the refs' `out` pointers. Batches always
+     * run cold — there is no warm-cache path for k-NN. Chip mode
+     * round-robins queries over the units exactly as the ray path
+     * round-robins rays.
+     * @throws std::logic_error when this executor was not constructed
+     *         over a KnnIndex.
+     * @throws std::runtime_error when the batch exceeds
+     *         max_cycles_per_batch (CycleAccurate model).
+     */
+    BatchResult executeKnnBatch(const KnnBatchRef *refs,
+                                size_t n) const;
+
     const ExecutorConfig &config() const { return cfg_; }
 
   private:
     BatchResult runChipBatch(const BatchRayRef *refs, size_t n,
                              const bvh::RtUnitConfig &rt_cfg) const;
+    BatchResult runChipKnnBatch(const KnnBatchRef *refs,
+                                size_t n) const;
 
     const bvh::Bvh4 &bvh_;
+    const bvh::KnnIndex *knn_index_ = nullptr;
     ExecutorConfig cfg_;
 };
 

@@ -42,6 +42,18 @@ foldPass(PassesReport &rep, const EngineReport &pass)
     rep.elapsed_seconds += pass.elapsed_seconds;
 }
 
+/** Run the optional k-NN ride-along pass (PassConfig::knn_index) and
+ *  fold its counters into the report totals. */
+void
+foldKnn(PassesReport &rep, const Engine &engine, const PassConfig &cfg)
+{
+    if (!cfg.knn_index)
+        return;
+    rep.knn = engine.runKnn(*cfg.knn_index, cfg.knn_queries);
+    rep.unit.merge(rep.knn.unit);
+    rep.elapsed_seconds += rep.knn.elapsed_seconds;
+}
+
 /** Triangle lookup by id. Ids survive the builder's reordering but
  *  nothing in Bvh4 makes them dense 0..n-1, so the table is sized by
  *  the maximum id actually present — falling back to a hash map when
@@ -199,6 +211,7 @@ renderPasses(const Engine &engine, const bvh::Bvh4 &bvh,
         // release them as the sequential branch does.
         for (JobReport &j : rep.stream.jobs)
             j.hits = {};
+        foldKnn(rep, engine, cfg);
         return rep;
     }
 
@@ -224,6 +237,7 @@ renderPasses(const Engine &engine, const bvh::Bvh4 &bvh,
         rep.bounce.hits = {}; // rehomed per pixel in bounce_hits
     }
 
+    foldKnn(rep, engine, cfg);
     return rep;
 }
 

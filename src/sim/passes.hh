@@ -78,6 +78,18 @@ struct PassConfig
     /** Scheduler knobs for stream_secondary (batch size, cross-job
      *  packing, queue bound). */
     StreamConfig stream;
+
+    /** Optional k-NN ride-along: when set, the scenario finishes with
+     *  an Engine::runKnn pass answering `knn_queries` against this
+     *  index on the same engine (and persistent worker pool) as the
+     *  ray passes. Results and counters land in PassesReport::knn; the
+     *  index must outlive the renderPasses() call. Under the
+     *  CycleAccurate model the engine's datapath config must be an
+     *  extended one (runKnn throws otherwise). */
+    const bvh::KnnIndex *knn_index = nullptr;
+
+    /** Queries for the k-NN ride-along; ignored without knn_index. */
+    std::vector<bvh::KnnQuery> knn_queries;
 };
 
 /** Aggregate of a multi-pass scenario run. The per-pixel vectors are
@@ -115,6 +127,12 @@ struct PassesReport
      *  simulated latencies and the merged counters of the secondary
      *  jobs. Empty when streaming is off. */
     StreamReport stream;
+
+    /** k-NN ride-along report (PassConfig::knn_index): neighbor lists
+     *  for knn_queries plus the merged k-NN traversal counters. Its
+     *  unit counters fold into `unit` and its wall-clock into
+     *  elapsed_seconds. Empty when no index was configured. */
+    KnnReport knn;
 };
 
 /**
