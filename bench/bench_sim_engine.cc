@@ -472,6 +472,18 @@ BM_IssueWidthSweep(benchmark::State &state)
     state.counters["avg_occupancy"] = rep.unit.packet.avgOccupancy();
     state.counters["compactions"] =
         double(rep.unit.packet.compactions);
+    // Top-down issue-slot attribution (obs::SlotAccounting): where the
+    // non-issued slots went, so a regression here can say WHICH
+    // bottleneck moved — bench_compare.py gates stall_mem_slots_per_ray.
+    const obs::SlotAccounting &sl = rep.unit.slots;
+    state.counters["issued_slots_per_ray"] =
+        double(sl[obs::Slot::Issued]) / n;
+    state.counters["stall_mem_slots_per_ray"] =
+        double(sl.memoryStallSlots()) / n;
+    state.counters["stall_mshr_slots_per_ray"] =
+        double(sl[obs::Slot::StallMshrFull]) / n;
+    state.counters["stall_drain_slots_per_ray"] =
+        double(sl[obs::Slot::StallDrain]) / n;
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(rays.size()));
 }
@@ -544,6 +556,21 @@ BM_UnitScalingSweep(benchmark::State &state)
         double(l2.queue_stalls) / n;
     state.counters["hops_per_ray"] = double(l2.hops) / n;
     state.counters["l1_hit_rate"] = rep.unit.mem.hitRate();
+    // Top-down issue-slot attribution, summed over the chip's units:
+    // splits the memory wait into L1-fill vs ring vs bank-queue vs
+    // L2-service slots — exactly the distinction the flat
+    // l2_queue_stalls counter cannot make.
+    const obs::SlotAccounting &sl = rep.unit.slots;
+    state.counters["issued_slots_per_ray"] =
+        double(sl[obs::Slot::Issued]) / n;
+    state.counters["stall_mem_slots_per_ray"] =
+        double(sl.memoryStallSlots()) / n;
+    state.counters["stall_ring_slots_per_ray"] =
+        double(sl[obs::Slot::StallRingHop]) / n;
+    state.counters["stall_bankq_slots_per_ray"] =
+        double(sl[obs::Slot::StallL2BankQueue]) / n;
+    state.counters["stall_l2fill_slots_per_ray"] =
+        double(sl[obs::Slot::StallL2Fill]) / n;
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(rays.size()));
 }

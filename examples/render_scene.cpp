@@ -14,7 +14,7 @@
  * image is bit-identical for every value of [threads].
  *
  * Usage: render_scene [width] [height] [scene] [out.ppm] [threads] [ao]
- *                     [cache] [packet] [issue] [chip] [stream]
+ *                     [cache] [packet] [issue] [chip] [stream] [trace]
  *   scene: sphere | torus | terrain | mixed (default mixed)
  *   threads: engine workers, 0 = all cores (default 0)
  *   ao: ambient-occlusion rays per hit pixel (default 0 = off)
@@ -52,10 +52,21 @@
  *          p50/p99 latency, the cross-job fetch-share rate and the
  *          Jain fairness index (default 0 = off; hits and image are
  *          unaffected)
+ *   trace: PATH = after rendering, re-run the streaming workload (the
+ *          frame job plus four staggered probe jobs) with event
+ *          tracing on - two lock-stepped packetized RT units behind
+ *          the shared banked 128 KiB L2 - and write the deterministic
+ *          event trace as Chrome trace-event JSON to PATH, loadable in
+ *          Perfetto / chrome://tracing (unit instant tracks, batch and
+ *          job slices, counter tracks for packet occupancy, MSHR
+ *          residency and per-bank L2 queue depth). A top-down
+ *          issue-slot breakdown (obs::SlotAccounting) is printed
+ *          alongside. Default off; hits and image are unaffected.
  *
  * Every cycle-accurate probe row reports the same base counter set -
- * cycles/ray, memory-stall slots/ray, memory requests/ray - so rows
- * compare across probes, each probe then adding its own specifics.
+ * cycles/ray, memory-stall slots/ray, memory requests/ray - printed by
+ * one shared helper (probeRow) so rows compare across probes, each
+ * probe then adding its own specifics to the line.
  */
 #include <algorithm>
 #include <cstdio>
@@ -65,6 +76,7 @@
 
 #include "bvh/builder.hh"
 #include "bvh/scene.hh"
+#include "obs/perfetto.hh"
 #include "sim/passes.hh"
 
 using namespace rayflex;
@@ -110,6 +122,7 @@ main(int argc, char **argv)
     unsigned issue_probe = argc > 9 ? unsigned(atoi(argv[9])) : 0;
     unsigned chip_probe = argc > 10 ? unsigned(atoi(argv[10])) : 0;
     bool stream_probe = argc > 11 && atoi(argv[11]) != 0;
+    std::string trace_path = argc > 12 ? argv[12] : "";
     if (packet_probe > kMaxPacketWidth) {
         // The RT unit clamps internally; clamp here too so the probe
         // labels match the width that actually simulates.
@@ -236,18 +249,22 @@ main(int argc, char **argv)
     ncfg.rt.cache = kProbeCache4KiB;
     sim::EngineReport cached;
     if (cache_probe || packet_probe > 1 || issue_probe > 1 ||
-        chip_probe > 1 || stream_probe) {
+        chip_probe > 1 || stream_probe || !trace_path.empty()) {
         primary = RayGen::primaryRays(pcfg.camera, pcfg.t_max);
         cached = sim::Engine(ncfg).run(bvh, primary);
     }
 
-    // Shared base counter set of every probe row: the same three
-    // per-ray numbers in the same order, so rows compare across the
-    // cache/packet/issue/chip probes.
-    const auto probeBase = [](const RtUnitStats &u, double n) {
-        printf("%.2f cycles/ray, %.2f mem-stall slots/ray, %.2f "
-               "requests/ray",
-               double(u.cycles) / n, double(u.stall_on_memory) / n,
+    // The one shared probe-row printer: every cycle-accurate probe row
+    // is "  <label>: <base counter set>" with the same three per-ray
+    // numbers in the same order, so rows compare across the
+    // cache/packet/issue/chip/stream probes. The row is left open
+    // (no newline) for the probe to append its specifics.
+    const auto probeRow = [](const std::string &label,
+                             const RtUnitStats &u, double n) {
+        printf("  %s: %.2f cycles/ray, %.2f mem-stall slots/ray, "
+               "%.2f requests/ray",
+               label.c_str(), double(u.cycles) / n,
+               double(u.stall_on_memory) / n,
                double(u.mem_requests) / n);
     };
 
@@ -256,11 +273,11 @@ main(int argc, char **argv)
         sim::EngineReport flat =
             sim::Engine(ccfg).run(bvh, primary);
         printf("memory probe (primary batch, cycle-accurate):\n");
-        printf("  flat %u-cycle fetch: ", ccfg.rt.mem_latency);
-        probeBase(flat.unit, n);
+        probeRow("flat " + std::to_string(ccfg.rt.mem_latency) +
+                     "-cycle fetch",
+                 flat.unit, n);
         printf("\n");
-        printf("  4 KiB node cache:    ");
-        probeBase(cached.unit, n);
+        probeRow("4 KiB node cache", cached.unit, n);
         printf(", %.1f%% hit rate (%llu hits / %llu misses / "
                "%llu evictions)\n",
                100.0 * cached.unit.mem.hitRate(),
@@ -285,11 +302,10 @@ main(int argc, char **argv)
         const PacketStats &ps = packet.unit.packet;
         printf("packet probe (primary batch, cycle-accurate, 4 KiB "
                "node cache):\n");
-        printf("  scalar:          ");
-        probeBase(cached.unit, n);
+        probeRow("scalar", cached.unit, n);
         printf("\n");
-        printf("  %2u-wide packets: ", packet_probe);
-        probeBase(packet.unit, n);
+        probeRow(std::to_string(packet_probe) + "-wide packets",
+                 packet.unit, n);
         printf(" (%.2f fetches/ray shared)\n",
                double(ps.fetches_shared) / n);
         printf("  %llu packets, avg occupancy %.2f/%u per node visit "
@@ -323,9 +339,9 @@ main(int argc, char **argv)
                 }
                 sim::EngineReport rep =
                     sim::Engine(icfg).run(bvh, primary);
-                printf("  %s issue %u: ", packets ? "packet" : "scalar",
-                       iw);
-                probeBase(rep.unit, n);
+                probeRow(std::string(packets ? "packet" : "scalar") +
+                             " issue " + std::to_string(iw),
+                         rep.unit, n);
                 printf(", %.2f beats/cycle, %llu MSHR merges, %llu "
                        "stalls-full\n",
                        rep.unit.utilization(),
@@ -378,8 +394,7 @@ main(int argc, char **argv)
                     kProbeL2_128KiB.dividedAcross(row.units);
             sim::EngineReport rep = sim::Engine(rcfg).run(bvh, primary);
             const L2Stats l2 = rep.unit.l2Total();
-            printf("  %s: ", row.label);
-            probeBase(rep.unit, n);
+            probeRow(row.label, rep.unit, n);
             printf(", %.1f rays/kcycle, %.1f%% L2 hit rate, %.2f "
                    "cross-unit merges/ray, %.2f bank-queue stalls/ray\n",
                    1000.0 * n / double(rep.unit.chip_cycles),
@@ -430,13 +445,65 @@ main(int argc, char **argv)
                 p50 = lat[(lat.size() - 1) / 2];
                 p99 = lat.back();
             }
-            printf("  packing %-3s: ", packing ? "on" : "off");
-            probeBase(rep.unit, double(rep.total_rays));
+            probeRow(std::string("packing ") + (packing ? "on" : "off"),
+                     rep.unit, double(rep.total_rays));
             printf(", probe p50/p99 %llu/%llu cycles, %.1f%% "
                    "cross-job shared fetches, fairness %.2f\n",
                    (unsigned long long)p50, (unsigned long long)p99,
                    100.0 * rep.crossJobShareRate(), rep.fairness);
         }
+    }
+
+    if (!trace_path.empty()) {
+        // The trace probe: the streaming workload (the frame job plus
+        // four staggered probe jobs, as [stream]) re-run once with
+        // event tracing on, on a chip of two lock-stepped packetized
+        // units behind the shared banked 128 KiB L2 — the
+        // configuration that exercises every event source: fetch
+        // issue/fill, MSHR alloc/merge/residency, packet form/compact/
+        // retire/occupancy, L2 bank enqueue/dequeue/queue-depth, batch
+        // and job slices. The trace is bit-identical at every worker
+        // count, like the hits.
+        const unsigned pw = packet_probe > 1 ? packet_probe : 8;
+        sim::EngineConfig tcfg = ncfg;
+        tcfg.trace = true;
+        tcfg.rt.packet.width = pw;
+        tcfg.rt.ray_buffer_entries *= pw;
+        tcfg.rt.mshrs = 8;
+        tcfg.chip.units = 2;
+        tcfg.chip.l2 = sim::L2Mode::Shared;
+        tcfg.chip.l2cfg = kProbeL2_128KiB;
+        const sim::Engine treng(tcfg);
+
+        std::vector<sim::RenderJob> jobs;
+        jobs.push_back({0, 0, false, primary});
+        const std::vector<Ray> small(
+            primary.begin(),
+            primary.begin() + std::min<size_t>(64, primary.size()));
+        for (unsigned cj = 1; cj <= 4; ++cj)
+            jobs.push_back({cj, 400ull * cj, false, small});
+        sim::StreamConfig scfg;
+        scfg.batch_size = 256;
+        sim::StreamReport rep = sim::StreamingService::run(
+            treng, bvh, std::move(jobs), scfg);
+
+        std::ofstream tf(trace_path);
+        obs::writeChromeTrace(tf, rep.trace);
+        tf.close();
+
+        const obs::SlotAccounting &sl = rep.unit.slots;
+        const double slots = double(sl.total());
+        printf("trace probe (frame + 4 probe jobs, cycle-accurate, "
+               "2 units, shared 128 KiB L2):\n");
+        printf("  %zu events over %zu batches -> %s "
+               "(chrome://tracing / ui.perfetto.dev)\n",
+               rep.trace.size(), rep.batches, trace_path.c_str());
+        printf("  issue-slot breakdown:");
+        for (size_t s = 0; s < obs::kSlotBuckets; ++s)
+            printf(" %s %.1f%%", obs::slotName(obs::Slot(s)),
+                   slots > 0 ? 100.0 * double(sl.buckets[s]) / slots
+                             : 0.0);
+        printf("\n");
     }
     return 0;
 }

@@ -60,7 +60,8 @@ NodeCache::touchLine(uint64_t line)
 }
 
 unsigned
-NodeCache::access(uint64_t addr, uint32_t bytes, uint64_t now)
+NodeCache::access(uint64_t addr, uint32_t bytes, uint64_t now,
+                  AccessBreakdown *bd)
 {
     // Per-missed-line charge: hit_latency for the access itself plus
     // one fill penalty per missed line, so the latency agrees with the
@@ -82,30 +83,55 @@ NodeCache::access(uint64_t addr, uint32_t bytes, uint64_t now)
                                   addr / cfg_.line_bytes + 1
                             : 1;
         stats_.misses += touched;
-        if (next_)
+        if (next_) {
             // Everything misses here, so the whole range goes to the
             // L2 as one fill (it splits into its own lines and takes
             // the slowest).
-            return cfg_.hit_latency + next_->fill(addr, bytes, now, unit_);
-        return cfg_.hit_latency + unsigned(touched) * fill;
+            const unsigned below =
+                next_->fill(addr, bytes, now, unit_, bd);
+            if (bd)
+                bd->l1 = cfg_.hit_latency;
+            return cfg_.hit_latency + below;
+        }
+        const unsigned lat =
+            cfg_.hit_latency + unsigned(touched) * fill;
+        if (bd)
+            bd->l1 = lat;
+        return lat;
     }
     const uint64_t first = addr / cfg_.line_bytes;
     const uint64_t last = (addr + bytes - 1) / cfg_.line_bytes;
     if (next_) {
         // Chip mode: missed L1 lines fill in parallel through the L2's
         // banks, so the access costs the slowest fill, not the sum.
+        // The breakdown is the slowest line's: that fill is the one
+        // gating the access.
         unsigned worst = 0;
+        AccessBreakdown worst_bd;
         for (uint64_t line = first; line <= last; ++line)
-            if (!touchLine(line))
-                worst = std::max(
-                    worst, next_->fill(line * uint64_t(cfg_.line_bytes),
-                                       cfg_.line_bytes, now, unit_));
+            if (!touchLine(line)) {
+                AccessBreakdown line_bd;
+                const unsigned lat = next_->fill(
+                    line * uint64_t(cfg_.line_bytes), cfg_.line_bytes,
+                    now, unit_, bd ? &line_bd : nullptr);
+                if (lat > worst) {
+                    worst = lat;
+                    worst_bd = line_bd;
+                }
+            }
+        if (bd) {
+            *bd = worst_bd;
+            bd->l1 = cfg_.hit_latency;
+        }
         return cfg_.hit_latency + worst;
     }
     unsigned missed = 0;
     for (uint64_t line = first; line <= last; ++line)
         missed += touchLine(line) ? 0 : 1;
-    return cfg_.hit_latency + missed * fill;
+    const unsigned lat = cfg_.hit_latency + missed * fill;
+    if (bd)
+        bd->l1 = lat;
+    return lat;
 }
 
 SharedL2::SharedL2(const L2Config &cfg) : cfg_(cfg)
@@ -139,7 +165,8 @@ SharedL2::totals() const
 }
 
 unsigned
-SharedL2::fillLine(uint64_t line, uint64_t arrival, unsigned unit)
+SharedL2::fillLine(uint64_t line, uint64_t arrival, unsigned unit,
+                   unsigned *queue_out, unsigned *fill_out)
 {
     const size_t bank_idx = size_t(line % banks_.size());
     Bank &bank = banks_[bank_idx];
@@ -153,24 +180,52 @@ SharedL2::fillLine(uint64_t line, uint64_t arrival, unsigned unit)
 
     // An outstanding fill of the same line absorbs this lookup: it
     // completes when the fill does (never before this request's own
-    // arrival), pays no DRAM access and no bank occupancy.
+    // arrival), pays no DRAM access and no bank occupancy. The whole
+    // merged wait is "fill" for attribution: the requester is waiting
+    // on the in-flight DRAM fill, not on the bank's queue.
     for (const Inflight &e : bank.inflight)
         if (e.line == line) {
             ++st.merges;
             if (e.unit != unit)
                 ++st.cross_unit_merges;
-            return unsigned(std::max(e.done, arrival) - arrival);
+            const unsigned lat =
+                unsigned(std::max(e.done, arrival) - arrival);
+            *queue_out = 0;
+            *fill_out = lat;
+            return lat;
         }
 
     // Single-server bank queue: service starts when the bank frees.
     const uint64_t start = std::max(arrival, bank.free_at);
     st.queue_stalls += start - arrival;
     bank.free_at = start + cfg_.bank_cycles_per_request;
+    *queue_out = unsigned(start - arrival);
+    if (trace_) {
+        trace_->record({arrival, uint32_t(bank_idx),
+                        obs::TraceEvent::BankEnqueue, unit,
+                        start - arrival});
+        trace_->record({start, uint32_t(bank_idx),
+                        obs::TraceEvent::BankDequeue, unit, 0});
+        // Queue depth at this arrival: requests the bank has accepted
+        // but not started by then (service is one request every
+        // bank_cycles_per_request cycles, so the backlog is the lead
+        // of free_at over the clock in service quanta).
+        const uint64_t lead =
+            bank.free_at > arrival ? bank.free_at - arrival : 0;
+        const uint64_t depth =
+            cfg_.bank_cycles_per_request
+                ? (lead + cfg_.bank_cycles_per_request - 1) /
+                      cfg_.bank_cycles_per_request
+                : lead;
+        trace_->record({arrival, uint32_t(bank_idx),
+                        obs::TraceEvent::BankQueueDepth, depth, 0});
+    }
 
     if (cfg_.sets == 0 || cfg_.ways == 0) {
         // Zero-capacity degenerate: every lookup is a DRAM fill and
         // nothing merges (no line is ever resident or tracked).
         ++st.misses;
+        *fill_out = cfg_.miss_latency;
         return unsigned(start + cfg_.miss_latency - arrival);
     }
 
@@ -183,6 +238,7 @@ SharedL2::fillLine(uint64_t line, uint64_t arrival, unsigned unit)
         if (l.valid && l.tag == line) {
             l.last_used = bank.tick;
             ++st.hits;
+            *fill_out = cfg_.hit_latency;
             return unsigned(start + cfg_.hit_latency - arrival);
         }
         // Same victim preference as NodeCache: first invalid way, else
@@ -199,12 +255,13 @@ SharedL2::fillLine(uint64_t line, uint64_t arrival, unsigned unit)
     victim->valid = true;
     const uint64_t done = start + cfg_.miss_latency;
     bank.inflight.push_back({line, done, unit});
+    *fill_out = cfg_.miss_latency;
     return unsigned(done - arrival);
 }
 
 unsigned
 SharedL2::fill(uint64_t addr, uint32_t bytes, uint64_t now,
-               unsigned unit)
+               unsigned unit, AccessBreakdown *bd)
 {
     if (bytes == 0)
         bytes = 1;
@@ -218,6 +275,7 @@ SharedL2::fill(uint64_t addr, uint32_t bytes, uint64_t now,
     const size_t n_banks = banks_.size();
     const size_t stop = size_t(unit) % n_banks; ///< unit's ring stop
     unsigned worst = 0;
+    AccessBreakdown worst_bd;
     for (uint64_t line = first; line <= last; ++line) {
         // Ring distance between the unit's stop and the line's bank,
         // paid in hop_latency cycles on the request AND response path.
@@ -228,9 +286,18 @@ SharedL2::fill(uint64_t addr, uint32_t bytes, uint64_t now,
         stats_[bank_idx].hops += 2 * hops;
         const uint64_t ride = uint64_t(hops) * cfg_.hop_latency;
         const uint64_t arrival = now + ride;
-        const unsigned at_bank = fillLine(line, arrival, unit);
-        worst = std::max(worst, unsigned(ride + at_bank + ride));
+        unsigned queue = 0, service = 0;
+        const unsigned at_bank =
+            fillLine(line, arrival, unit, &queue, &service);
+        const unsigned total = unsigned(ride + at_bank + ride);
+        if (total >= worst) {
+            // >= so a zero-latency fill still yields a breakdown.
+            worst = total;
+            worst_bd = {0, unsigned(2 * ride), queue, service};
+        }
     }
+    if (bd)
+        *bd = worst_bd;
     return worst;
 }
 

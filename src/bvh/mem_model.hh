@@ -56,8 +56,26 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hh"
+
 namespace rayflex::bvh
 {
+
+/** Where the cycles of one access went, phase by phase. The four
+ *  fields always sum to the returned latency; backends without a
+ *  chip-level tier report everything in `l1`. The RT unit turns these
+ *  into absolute phase boundaries on each in-flight request, which is
+ *  what the top-down stall attribution (obs::SlotAccounting)
+ *  classifies against. Both interconnect directions fold into the one
+ *  `ring` phase (charged up front), so the layout is an attribution of
+ *  the latency, not a literal timeline. */
+struct AccessBreakdown
+{
+    unsigned l1 = 0;    ///< L1 lookup / flat-memory fill
+    unsigned ring = 0;  ///< interconnect hops, request + response
+    unsigned queue = 0; ///< L2 bank-queue wait
+    unsigned fill = 0;  ///< L2 service / DRAM fill / in-flight merge
+};
 
 /** Byte stride of one WideNode in the synthetic BVH address space:
  *  four children of 32 bytes each (six bounds floats + index + count). */
@@ -159,6 +177,19 @@ class MshrFile
     /** True when the file models anything (mshrs > 0). */
     bool enabled() const { return entries_ > 0; }
 
+    /** One in-flight fill: its merge key, completion cycle, and the
+     *  absolute phase boundaries of the fill's latency (from its
+     *  AccessBreakdown at allocation) — a merged requester copies
+     *  them, since it waits on the same fill through the same phases. */
+    struct Entry
+    {
+        uint64_t addr = 0;
+        uint64_t done_cycle = 0;
+        uint64_t l1_until = 0;    ///< end of the L1 phase
+        uint64_t ring_until = 0;  ///< end of the interconnect phase
+        uint64_t queue_until = 0; ///< end of the bank-queue phase
+    };
+
     /** In-flight fill whose target matches `addr`, if any.
      *  @return completion cycle of the matching entry, or 0. Fills
      *  complete strictly after their allocation cycle, so 0 is never a
@@ -172,15 +203,37 @@ class MshrFile
         return 0;
     }
 
+    /** The in-flight entry matching `addr`, or nullptr. Like
+     *  inflightCompletion but with the phase boundaries along — what a
+     *  merged requester copies into its own request record. The
+     *  pointer is invalidated by the next allocate/retire/reset. */
+    const Entry *
+    lookup(uint64_t addr) const
+    {
+        for (const Entry &e : inflight_)
+            if (e.addr == addr)
+                return &e;
+        return nullptr;
+    }
+
     /** True when no entry is free for a new allocation. */
     bool full() const { return inflight_.size() >= entries_; }
 
-    /** Track a new fill of `addr` completing at `done_cycle`. The
-     *  caller checks full() and inflightCompletion() first. */
+    /** Entries currently in flight (the MSHR residency counter). */
+    size_t inflightCount() const { return inflight_.size(); }
+
+    /** Track a new fill of `addr` completing at `done_cycle`, with the
+     *  absolute phase boundaries of its latency (defaulted to
+     *  done_cycle: an all-L1 fill). The caller checks full() and
+     *  lookup() first. */
     void
-    allocate(uint64_t addr, uint64_t done_cycle)
+    allocate(uint64_t addr, uint64_t done_cycle, uint64_t l1_until = 0,
+             uint64_t ring_until = 0, uint64_t queue_until = 0)
     {
-        inflight_.push_back({addr, done_cycle});
+        inflight_.push_back({addr, done_cycle,
+                             l1_until ? l1_until : done_cycle,
+                             ring_until ? ring_until : done_cycle,
+                             queue_until ? queue_until : done_cycle});
     }
 
     /** Release every entry whose fill has completed by `now` (same
@@ -198,12 +251,6 @@ class MshrFile
     void reset() { inflight_.clear(); }
 
   private:
-    struct Entry
-    {
-        uint64_t addr = 0;
-        uint64_t done_cycle = 0;
-    };
-
     unsigned entries_;
     std::vector<Entry> inflight_;
 };
@@ -339,9 +386,18 @@ class SharedL2
     /** Latency in cycles, from `now`, of filling the `bytes`-byte range
      *  at `addr` on behalf of `unit`. Touched L2 lines fill in parallel
      *  across their banks; the returned latency is the slowest line's
-     *  (max, not sum), each including both interconnect directions. */
+     *  (max, not sum), each including both interconnect directions.
+     *  When `bd` is non-null it receives the slowest line's phase
+     *  breakdown (ring / queue / fill summing to the return value;
+     *  `l1` stays 0 — that phase belongs to the caller). */
     unsigned fill(uint64_t addr, uint32_t bytes, uint64_t now,
-                  unsigned unit);
+                  unsigned unit, AccessBreakdown *bd = nullptr);
+
+    /** Emit bank enqueue/dequeue events and queue-depth counter
+     *  samples to `sink` (nullptr — the default — disables emission
+     *  entirely; the seam idiom of obs/trace.hh). Borrowed, not
+     *  owned; outlives the runs it observes. */
+    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
 
     /** Per-bank counters accumulated since construction or reset(). */
     const std::vector<L2Stats> &bankStats() const { return stats_; }
@@ -379,12 +435,15 @@ class SharedL2
     };
 
     /** Fill one line; @return cycles from `arrival` (at the bank) to
-     *  data at the bank, excluding interconnect. */
-    unsigned fillLine(uint64_t line, uint64_t arrival, unsigned unit);
+     *  data at the bank, excluding interconnect. `queue_out`/`fill_out`
+     *  receive the queue-wait / service split of that latency. */
+    unsigned fillLine(uint64_t line, uint64_t arrival, unsigned unit,
+                      unsigned *queue_out, unsigned *fill_out);
 
     L2Config cfg_;
     std::vector<Bank> banks_;
     std::vector<L2Stats> stats_; ///< one entry per bank
+    obs::TraceSink *trace_ = nullptr; ///< borrowed; null = disabled
 };
 
 /** Which MemoryModel backend an RT unit instantiates. */
@@ -447,15 +506,24 @@ class MemoryModel
      *  RT-unit fetch, in traversal order. Backends without an attached
      *  next level are pure functions of (addr, bytes) and ignore
      *  `now`; with a SharedL2 attached, `now` anchors bank queueing
-     *  and in-flight merges on the chip clock. */
-    virtual unsigned access(uint64_t addr, uint32_t bytes,
-                            uint64_t now) = 0;
+     *  and in-flight merges on the chip clock. When `bd` is non-null
+     *  it receives the phase breakdown of the returned latency (the
+     *  four fields sum to it); filling it never changes the latency
+     *  arithmetic — the breakdown is observation, not timing. */
+    virtual unsigned access(uint64_t addr, uint32_t bytes, uint64_t now,
+                            AccessBreakdown *bd) = 0;
+
+    /** Convenience without a breakdown. */
+    unsigned access(uint64_t addr, uint32_t bytes, uint64_t now)
+    {
+        return access(addr, bytes, now, nullptr);
+    }
 
     /** Convenience for callers without a clock (tests, probes):
      *  equivalent to access(addr, bytes, 0). */
     unsigned access(uint64_t addr, uint32_t bytes)
     {
-        return access(addr, bytes, 0);
+        return access(addr, bytes, 0, nullptr);
     }
 
     /** Route this L1's misses through a chip-level `l2` on behalf of
@@ -485,8 +553,11 @@ class FixedLatencyMemory final : public MemoryModel
     explicit FixedLatencyMemory(unsigned latency) : latency_(latency) {}
 
     using MemoryModel::access;
-    unsigned access(uint64_t, uint32_t, uint64_t) override
+    unsigned access(uint64_t, uint32_t, uint64_t,
+                    AccessBreakdown *bd) override
     {
+        if (bd)
+            bd->l1 = latency_;
         return latency_;
     }
 
@@ -518,7 +589,8 @@ class NodeCache final : public MemoryModel
     explicit NodeCache(const NodeCacheConfig &cfg);
 
     using MemoryModel::access;
-    unsigned access(uint64_t addr, uint32_t bytes, uint64_t now) override;
+    unsigned access(uint64_t addr, uint32_t bytes, uint64_t now,
+                    AccessBreakdown *bd) override;
     void attachNextLevel(SharedL2 *l2, unsigned unit) override
     {
         next_ = l2;

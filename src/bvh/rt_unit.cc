@@ -123,56 +123,152 @@ RtUnit::fetchTarget(bool is_leaf, uint32_t index, uint32_t count,
     }
 }
 
-/** Latency of one fetch against the shared L1. The current cycle rides
- *  along so a chip-mode L1 can anchor its SharedL2 requests (bank
- *  queues, in-flight merges) on the lock-step chip clock; single-unit
- *  backends ignore it. */
-unsigned
-RtUnit::accessLatency(bool is_leaf, uint32_t index, uint32_t count)
+/** Step-(c) preamble shared by all three schedulers: release
+ *  completed MSHR entries (sampling the residency counter when it
+ *  changed and tracing is on) and re-arm the MSHR-refusal flag for
+ *  this cycle's issue loop (classifyIdle reads last cycle's value in
+ *  step (a), which runs before this). */
+void
+RtUnit::retireMshrs()
 {
-    uint64_t addr;
-    uint32_t bytes;
-    fetchTarget(is_leaf, index, count, &addr, &bytes);
-    return mem_->access(addr, bytes, now_);
+    if (trace_) {
+        const size_t before = mshrs_.inflightCount();
+        mshrs_.retire(now_);
+        if (mshrs_.inflightCount() != before)
+            trace_->record({now_, trace_unit_,
+                            obs::TraceEvent::MshrResidency,
+                            mshrs_.inflightCount(), 0});
+    } else {
+        mshrs_.retire(now_);
+    }
+    mshr_refused_ = false;
+}
+
+/** Exclusive cause of this cycle's idle issue slots. The priority and
+ *  the phase-boundary walk are documented in obs/slot_accounting.hh;
+ *  the scheduler-specific inputs (`have_work`: any work submitted and
+ *  not yet retired; `need_fetch`: a slot sits in NeedFetch;
+ *  `in_datapath`: work is ready for or riding the lanes) are computed
+ *  by the caller from state that is constant across step (a), so the
+ *  answer is the same whichever lane triggers the lazy evaluation. */
+obs::Slot
+RtUnit::classifyIdle(bool have_work, bool need_fetch,
+                     bool in_datapath) const
+{
+    if (!have_work)
+        return obs::Slot::IdleNoWork;
+    if (mshr_refused_)
+        return obs::Slot::StallMshrFull;
+    if (!mem_queue_.empty()) {
+        // The gating request: the earliest-completing in-flight fetch
+        // (queue order breaks ties) — the one the unit is actually
+        // waiting out. Attribute this cycle to the phase containing
+        // it, clamped into the request's lifetime so a fetch retiring
+        // later this same cycle still lands in its last real phase.
+        const MemRequest *g = &mem_queue_.front();
+        for (const MemRequest &r : mem_queue_)
+            if (r.done_cycle < g->done_cycle)
+                g = &r;
+        const uint64_t t =
+            now_ < g->done_cycle
+                ? now_
+                : (g->done_cycle ? g->done_cycle - 1 : 0);
+        if (t < g->l1_until)
+            return obs::Slot::StallL1Miss;
+        if (t < g->ring_until)
+            return obs::Slot::StallRingHop;
+        if (t < g->queue_until)
+            return obs::Slot::StallL2BankQueue;
+        return obs::Slot::StallL2Fill;
+    }
+    if (need_fetch)
+        return obs::Slot::StallL1Miss; // waiting on issue bandwidth
+    if (in_datapath)
+        return obs::Slot::StallDrain;
+    return obs::Slot::IdleNoWork;
 }
 
 /** Route one slot's fetch to memory: straight to the L1 when the MSHR
  *  file is disabled (the legacy unbounded path, bit-for-bit), else
  *  merge-or-allocate through the file. `issued` is the memory-issue
  *  bandwidth consumed this cycle; merges are free (they ride an
- *  in-flight fill instead of going to memory). */
+ *  in-flight fill instead of going to memory). The current cycle rides
+ *  into MemoryModel::access so a chip-mode L1 can anchor its SharedL2
+ *  requests (bank queues, in-flight merges) on the lock-step chip
+ *  clock; single-unit backends ignore it. The access's phase breakdown
+ *  becomes absolute boundaries on the queued request — what
+ *  classifyIdle() attributes stalled slots against. */
 bool
 RtUnit::issueFetch(size_t slot, bool is_leaf, uint32_t index,
                    uint32_t count, unsigned &issued)
 {
-    if (!mshrs_.enabled()) {
-        mem_queue_.push_back(
-            {slot, now_ + accessLatency(is_leaf, index, count)});
-        ++stats_.mem_requests;
-        ++issued;
-        return true;
-    }
     uint64_t addr;
     uint32_t bytes;
     fetchTarget(is_leaf, index, count, &addr, &bytes);
-    if (const uint64_t done = mshrs_.inflightCompletion(addr)) {
-        // Duplicate of an in-flight fill: complete when it does.
-        mem_queue_.push_back({slot, done});
+    if (!mshrs_.enabled()) {
+        AccessBreakdown bd;
+        const unsigned lat = mem_->access(addr, bytes, now_, &bd);
+        MemRequest req{slot, now_ + lat, addr};
+        req.l1_until = now_ + bd.l1;
+        req.ring_until = req.l1_until + bd.ring;
+        req.queue_until = req.ring_until + bd.queue;
+        mem_queue_.push_back(req);
+        ++stats_.mem_requests;
+        ++issued;
+        if (trace_)
+            trace_->record({now_, trace_unit_,
+                            obs::TraceEvent::FetchIssue, addr,
+                            uint64_t(slot)});
+        return true;
+    }
+    if (const MshrFile::Entry *inflight = mshrs_.lookup(addr)) {
+        // Duplicate of an in-flight fill: complete when it does, and
+        // wait through the same phases it does.
+        MemRequest req{slot, inflight->done_cycle, addr};
+        req.l1_until = inflight->l1_until;
+        req.ring_until = inflight->ring_until;
+        req.queue_until = inflight->queue_until;
+        mem_queue_.push_back(req);
         ++stats_.mshr.merges;
+        if (trace_)
+            trace_->record({now_, trace_unit_,
+                            obs::TraceEvent::MshrMerge, addr,
+                            uint64_t(slot)});
         return true;
     }
     if (mshrs_.full()) {
         ++stats_.mshr.stalls_full;
+        mshr_refused_ = true;
+        if (trace_)
+            trace_->record({now_, trace_unit_,
+                            obs::TraceEvent::MshrStallFull, addr,
+                            uint64_t(slot)});
         return false; // back-pressure: slot retries next cycle
     }
     if (issued >= cfg_.mem_requests_per_cycle)
         return false;
-    const uint64_t done = now_ + accessLatency(is_leaf, index, count);
-    mshrs_.allocate(addr, done);
-    mem_queue_.push_back({slot, done});
+    AccessBreakdown bd;
+    const unsigned lat = mem_->access(addr, bytes, now_, &bd);
+    const uint64_t done = now_ + lat;
+    MemRequest req{slot, done, addr};
+    req.l1_until = now_ + bd.l1;
+    req.ring_until = req.l1_until + bd.ring;
+    req.queue_until = req.ring_until + bd.queue;
+    mshrs_.allocate(addr, done, req.l1_until, req.ring_until,
+                    req.queue_until);
+    mem_queue_.push_back(req);
     ++stats_.mshr.allocations;
     ++stats_.mem_requests;
     ++issued;
+    if (trace_) {
+        trace_->record({now_, trace_unit_, obs::TraceEvent::FetchIssue,
+                        addr, uint64_t(slot)});
+        trace_->record({now_, trace_unit_, obs::TraceEvent::MshrAlloc,
+                        addr, mshrs_.inflightCount()});
+        trace_->record({now_, trace_unit_,
+                        obs::TraceEvent::MshrResidency,
+                        mshrs_.inflightCount(), 0});
+    }
     return true;
 }
 
@@ -352,6 +448,7 @@ RtUnit::advanceKnn()
     // claimed in descending lane order so a shared entry's pending
     // positions (claimed ascending in publishKnn) stay valid.
     int waiting_mem = -1;
+    obs::Slot idle_cause = obs::Slot::kCount; // lazily classified
     std::array<bool, kMaxIssueWidth> fired{};
     for (size_t l = 0; l < lanes_.size(); ++l) {
         const auto &in = lanes_[l]->in();
@@ -359,6 +456,7 @@ RtUnit::advanceKnn()
             fired[l] = true;
             ++stats_.datapath_beats;
             ++stats_.knn.distance_beats;
+            ++stats_.slots[obs::Slot::Issued];
         } else {
             ++stats_.datapath_idle;
             if (waiting_mem < 0) {
@@ -373,6 +471,22 @@ RtUnit::advanceKnn()
             }
             if (waiting_mem)
                 ++stats_.stall_on_memory;
+            if (idle_cause == obs::Slot::kCount) {
+                bool need_fetch = false, in_dp = false;
+                for (const KnnEntry &e : knn_entries_) {
+                    if (e.state == EntryState::NeedFetch)
+                        need_fetch = true;
+                    else if (e.state == EntryState::ReadyTri ||
+                             e.state == EntryState::InFlight)
+                        in_dp = true;
+                }
+                for (const KnnLaneJob &j : knn_lane_)
+                    in_dp = in_dp || j.active;
+                idle_cause = classifyIdle(
+                    outstanding_ > 0 || !pending_knn_.empty(),
+                    need_fetch, in_dp);
+            }
+            ++stats_.slots[idle_cause];
         }
     }
     for (size_t l = lanes_.size(); l-- > 0;) {
@@ -416,9 +530,13 @@ RtUnit::advanceKnn()
 
     // (c) Memory: completion-ordered retirement, then issue — same
     // shared L1 / MSHR path as the ray schedulers.
-    mshrs_.retire(now_);
+    retireMshrs();
     for (auto it = mem_queue_.begin(); it != mem_queue_.end();) {
         if (it->done_cycle <= now_) {
+            if (trace_)
+                trace_->record({now_, trace_unit_,
+                                obs::TraceEvent::FetchFill, it->addr,
+                                uint64_t(it->entry)});
             KnnEntry &e = knn_entries_[it->entry];
             if (e.fetch_is_leaf) {
                 ++stats_.knn.leaves_visited;
@@ -511,6 +629,13 @@ RtUnit::finishRay(Entry &e, const HitRecord &rec)
 void
 RtUnit::drainCompleted(PacketTraversal &p)
 {
+    if (p.completed().empty())
+        return;
+    if (trace_)
+        trace_->record({now_, trace_unit_,
+                        obs::TraceEvent::PacketRetire,
+                        uint64_t(&p - packets_.data()),
+                        p.completed().size()});
     for (const auto &[id, rec] : p.completed()) {
         results_[id] = rec;
         --outstanding_;
@@ -552,6 +677,10 @@ RtUnit::compactPackets()
                 live + ql > cfg_.packet.width)
                 continue;
             p.absorb(q);
+            if (trace_)
+                trace_->record({now_, trace_unit_,
+                                obs::TraceEvent::PacketCompact,
+                                uint64_t(j), uint64_t(i)});
             compact_hold_[i] = 0;
             compact_hold_[j] = 0;
             live += ql;
@@ -723,12 +852,14 @@ RtUnit::advancePacket()
     // cached for the cycle (no packet changes NeedFetch/Fetching state
     // during this step, so the first answer holds for every lane).
     int waiting_mem = -1;
+    obs::Slot idle_cause = obs::Slot::kCount; // lazily classified
     std::array<bool, kMaxIssueWidth> fired{};
     for (size_t l = 0; l < lanes_.size(); ++l) {
         const auto &in = lanes_[l]->in();
         if (offers_[l].entry != kNoOffer && in.valid && in.ready) {
             fired[l] = true;
             ++stats_.datapath_beats;
+            ++stats_.slots[obs::Slot::Issued];
         } else {
             ++stats_.datapath_idle;
             if (waiting_mem < 0) {
@@ -742,6 +873,21 @@ RtUnit::advancePacket()
             }
             if (waiting_mem)
                 ++stats_.stall_on_memory;
+            if (idle_cause == obs::Slot::kCount) {
+                bool need_fetch = false, in_dp = false;
+                for (const PacketTraversal &p : packets_) {
+                    if (p.needsFetch())
+                        need_fetch = true;
+                    else if (p.issueReady())
+                        in_dp = true;
+                }
+                for (const auto &q : lane_inflight_)
+                    in_dp = in_dp || !q.empty();
+                idle_cause = classifyIdle(
+                    outstanding_ > 0 || !pending_rays_.empty(),
+                    need_fetch, in_dp);
+            }
+            ++stats_.slots[idle_cause];
         }
     }
     for (size_t l = lanes_.size(); l-- > 0;) {
@@ -775,9 +921,13 @@ RtUnit::advancePacket()
     // fetch serves a packet's whole active mask, and the MSHR file
     // (when enabled) merges duplicate in-flight targets across
     // packets.
-    mshrs_.retire(now_);
+    retireMshrs();
     for (auto it = mem_queue_.begin(); it != mem_queue_.end();) {
         if (it->done_cycle <= now_) {
+            if (trace_)
+                trace_->record({now_, trace_unit_,
+                                obs::TraceEvent::FetchFill, it->addr,
+                                uint64_t(it->entry)});
             packets_[it->entry].fetchArrived();
             it = mem_queue_.erase(it);
         } else {
@@ -820,7 +970,24 @@ RtUnit::advancePacket()
         if (!p.idle())
             continue;
         p.admit(pending_rays_);
+        if (trace_)
+            trace_->record({now_, trace_unit_,
+                            obs::TraceEvent::PacketForm, uint64_t(i),
+                            p.liveLanes()});
         drainCompleted(p); // empty-scene rays complete at admission
+    }
+
+    // Occupancy counter sample: live lanes across all packet slots,
+    // emitted on change only (tracing off costs one pointer test).
+    if (trace_) {
+        uint64_t occ = 0;
+        for (const PacketTraversal &p : packets_)
+            occ += p.liveLanes();
+        if (occ != trace_occupancy_last_) {
+            trace_occupancy_last_ = occ;
+            trace_->record({now_, trace_unit_,
+                            obs::TraceEvent::PacketOccupancy, occ, 0});
+        }
     }
 }
 
@@ -853,11 +1020,13 @@ RtUnit::advance(uint64_t cycle)
     // (accepted beats only move Ready* entries to InFlight, never in
     // or out of NeedFetch/Fetching, so the first answer holds).
     int waiting_mem = -1;
+    obs::Slot idle_cause = obs::Slot::kCount; // lazily classified
     for (size_t l = 0; l < lanes_.size(); ++l) {
         const auto &in = lanes_[l]->in();
         if (offers_[l].entry != kNoOffer && in.valid && in.ready) {
             Entry &e = entries_[offers_[l].entry];
             ++stats_.datapath_beats;
+            ++stats_.slots[obs::Slot::Issued];
             if (e.state == EntryState::ReadyBox) {
                 e.state = EntryState::InFlight;
             } else {
@@ -879,6 +1048,25 @@ RtUnit::advance(uint64_t cycle)
             }
             if (waiting_mem)
                 ++stats_.stall_on_memory;
+            if (idle_cause == obs::Slot::kCount) {
+                // Ready* counts as in-datapath work: accepted offers
+                // move Ready -> InFlight during this very loop, so
+                // folding both states keeps the answer constant
+                // whichever lane classifies first.
+                bool need_fetch = false, in_dp = false;
+                for (const Entry &e : entries_) {
+                    if (e.state == EntryState::NeedFetch)
+                        need_fetch = true;
+                    else if (e.state == EntryState::ReadyBox ||
+                             e.state == EntryState::ReadyTri ||
+                             e.state == EntryState::InFlight)
+                        in_dp = true;
+                }
+                idle_cause = classifyIdle(
+                    outstanding_ > 0 || !pending_rays_.empty(),
+                    need_fetch, in_dp);
+            }
+            ++stats_.slots[idle_cause];
         }
     }
 
@@ -895,9 +1083,13 @@ RtUnit::advance(uint64_t cycle)
     // exists to expose would be masked. (Under a uniform-latency
     // backend completion order equals issue order, so this retires
     // exactly what the original FIFO pop did, cycle for cycle.)
-    mshrs_.retire(now_);
+    retireMshrs();
     for (auto it = mem_queue_.begin(); it != mem_queue_.end();) {
         if (it->done_cycle <= now_) {
+            if (trace_)
+                trace_->record({now_, trace_unit_,
+                                obs::TraceEvent::FetchFill, it->addr,
+                                uint64_t(it->entry)});
             Entry &e = entries_[it->entry];
             e.state = e.leaf_count > 0 ? EntryState::ReadyTri
                                        : EntryState::ReadyBox;
@@ -958,6 +1150,8 @@ RtUnit::beginRun()
 {
     stats_ = {};
     mshrs_.reset();
+    mshr_refused_ = false;
+    trace_occupancy_last_ = ~uint64_t(0);
     for (auto &q : lane_inflight_)
         q.clear();
     for (KnnLaneJob &j : knn_lane_)

@@ -34,6 +34,8 @@
 #include "bvh/packet.hh"
 #include "bvh/traversal.hh"
 #include "core/datapath.hh"
+#include "obs/slot_accounting.hh"
+#include "obs/trace.hh"
 #include "pipeline/component.hh"
 
 namespace rayflex::bvh
@@ -122,6 +124,14 @@ struct RtUnitStats
      *  associative, so the sharded-aggregation contract holds. */
     KnnStats knn;
 
+    /** Top-down issue-slot attribution (obs/slot_accounting.hh): every
+     *  slot of every cycle lands in exactly one bucket, so
+     *  slots.total() == cycles * issue_width for a single run and the
+     *  identity survives merge() (both sides are sums). The Issued
+     *  bucket equals datapath_beats and the others partition
+     *  datapath_idle by cause. */
+    obs::SlotAccounting slots;
+
     /** Chip wall-clock cycles (sim::Engine chip mode): lock-step ticks
      *  of the whole chip, summed across batches. Unlike `cycles` (which
      *  every unit accumulates until its OWN rays complete), one chip
@@ -170,6 +180,7 @@ struct RtUnitStats
         packet.merge(o.packet);
         mshr.merge(o.mshr);
         knn.merge(o.knn);
+        slots.merge(o.slots);
         chip_cycles += o.chip_cycles;
         if (l2_banks.size() < o.l2_banks.size())
             l2_banks.resize(o.l2_banks.size());
@@ -244,6 +255,17 @@ class RtUnit : public pipeline::Component
         mem_->attachNextLevel(l2, unit_id);
     }
 
+    /** Emit cycle-stamped fetch/MSHR/packet events to `sink` as unit
+     *  `unit_id` (nullptr — the default state — disables emission; the
+     *  seam idiom of obs/trace.hh). Borrowed, not owned. Call before
+     *  run()/beginRun(); tracing never changes timing or counters. */
+    void
+    attachTrace(obs::TraceSink *sink, unsigned unit_id)
+    {
+        trace_ = sink;
+        trace_unit_ = unit_id;
+    }
+
     /** Run the unit until all submitted rays complete.
      *  @return statistics for the run. */
     RtUnitStats run(uint64_t max_cycles = 100000000ull);
@@ -307,6 +329,15 @@ class RtUnit : public pipeline::Component
     {
         size_t entry;
         uint64_t done_cycle;
+        uint64_t addr = 0; ///< fetch target (trace / attribution key)
+        /** Absolute phase boundaries of the fetch's latency, from its
+         *  AccessBreakdown at issue (merged requesters copy the
+         *  in-flight entry's): issue <= l1_until <= ring_until <=
+         *  queue_until <= done_cycle. classifyIdle() attributes a
+         *  stalled cycle to the phase `now` falls in. */
+        uint64_t l1_until = 0;
+        uint64_t ring_until = 0;
+        uint64_t queue_until = 0;
     };
 
     void popWork(Entry &e);
@@ -316,8 +347,17 @@ class RtUnit : public pipeline::Component
      *  key and what the shared L1 is charged for). */
     void fetchTarget(bool is_leaf, uint32_t index, uint32_t count,
                      uint64_t *addr, uint32_t *bytes) const;
-    unsigned accessLatency(bool is_leaf, uint32_t index,
-                           uint32_t count);
+    /** Exclusive cause of an idle issue slot this cycle (the
+     *  non-Issued buckets of obs::Slot). All idle slots of one cycle
+     *  share one cause, so callers classify lazily once per cycle.
+     *  `have_work`: work was submitted and not yet retired;
+     *  `need_fetch`: a slot sits in NeedFetch; `in_datapath`: work is
+     *  ready for or riding the issue lanes. */
+    obs::Slot classifyIdle(bool have_work, bool need_fetch,
+                           bool in_datapath) const;
+    /** Step-(c) MSHR retirement shared by the schedulers (residency
+     *  trace sample + refusal-flag re-arm). */
+    void retireMshrs();
     /** Route one fetch through the MSHR file (when enabled) or
      *  straight to the L1. @return true when the fetch left the slot
      *  (allocated or merged); false on MSHR-full or exhausted
@@ -437,6 +477,14 @@ class RtUnit : public pipeline::Component
     size_t outstanding_ = 0;
     uint64_t now_ = 0;
     RtUnitStats stats_;
+    obs::TraceSink *trace_ = nullptr; ///< borrowed; null = disabled
+    unsigned trace_unit_ = 0;         ///< unit id stamped on events
+    /** Last emitted PacketOccupancy sample (~0 = none yet), so the
+     *  counter track only records changes. */
+    uint64_t trace_occupancy_last_ = ~uint64_t(0);
+    /** Set by issueFetch when a full MSHR file refused a fetch this
+     *  cycle; read (and reset) by the schedulers' idle classification. */
+    bool mshr_refused_ = false;
     /** L1 snapshot at beginRun (shared/warm models report deltas). */
     CacheStats mem_before_;
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Log-bucketed mergeable latency histogram.
+ *
+ * The streaming service needs per-job p50/p99/p999 over ray and job
+ * latencies, aggregated across batches and workers without keeping
+ * every sample. This is the standard log-linear (HDR-style) layout:
+ * values below 2^kSubBits are recorded EXACTLY (one bucket per value);
+ * above that, each power-of-two range splits into 2^kSubBits
+ * sub-buckets, bounding the relative quantile error at 2^-kSubBits
+ * (< 1.6% with the default 6 sub-bits). A bucket reports its lower
+ * bound, so a histogram quantile never exceeds the exact nearest-rank
+ * quantile — the one documented rounding rule for every percentile the
+ * streaming report derives from this type (sim/stream.hh).
+ *
+ * Merging is an elementwise sum (resize-to-longer, like the L2 bank
+ * vectors), so histograms obey the same commutative-associative merge
+ * contract as every stats struct and aggregate across sharded batches
+ * in any order. tests/test_obs.cc pins merge commutativity and the
+ * quantile error bound against an exact sort.
+ */
+#ifndef RAYFLEX_OBS_HISTOGRAM_HH
+#define RAYFLEX_OBS_HISTOGRAM_HH
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace rayflex::obs
+{
+
+/** Weighted log-linear histogram over uint64 values. */
+class Histogram
+{
+  public:
+    /** Sub-bucket resolution: 2^kSubBits sub-buckets per octave.
+     *  Values below 2^kSubBits are exact. */
+    static constexpr unsigned kSubBits = 6;
+
+    /** Record `value` with multiplicity `weight`. */
+    void
+    add(uint64_t value, uint64_t weight = 1)
+    {
+        if (weight == 0)
+            return;
+        const size_t idx = bucketIndex(value);
+        if (counts_.size() <= idx)
+            counts_.resize(idx + 1, 0);
+        counts_[idx] += weight;
+        total_ += weight;
+    }
+
+    /** Total recorded weight. */
+    uint64_t count() const { return total_; }
+
+    /** Elementwise-sum merge (commutative, associative). */
+    Histogram &
+    merge(const Histogram &o)
+    {
+        if (counts_.size() < o.counts_.size())
+            counts_.resize(o.counts_.size(), 0);
+        for (size_t i = 0; i < o.counts_.size(); ++i)
+            counts_[i] += o.counts_[i];
+        total_ += o.total_;
+        return *this;
+    }
+
+    /** Nearest-rank quantile, q in [0, 1]: the lower bound of the
+     *  bucket holding the rank-ceil(q * count) sample (rank clamped to
+     *  [1, count]). Exact for values below 2^kSubBits; otherwise at
+     *  most 2^-kSubBits below the exact sample. 0 when empty. */
+    uint64_t
+    quantile(double q) const
+    {
+        if (total_ == 0)
+            return 0;
+        uint64_t rank = uint64_t(std::ceil(q * double(total_)));
+        if (rank < 1)
+            rank = 1;
+        if (rank > total_)
+            rank = total_;
+        uint64_t seen = 0;
+        for (size_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen >= rank)
+                return bucketLowerBound(i);
+        }
+        return bucketLowerBound(counts_.size() - 1); // unreachable
+    }
+
+    friend bool operator==(const Histogram &a, const Histogram &b)
+    {
+        if (a.total_ != b.total_)
+            return false;
+        // Trailing zero buckets are representation noise, not data.
+        const size_t n = std::max(a.counts_.size(), b.counts_.size());
+        for (size_t i = 0; i < n; ++i) {
+            const uint64_t av = i < a.counts_.size() ? a.counts_[i] : 0;
+            const uint64_t bv = i < b.counts_.size() ? b.counts_[i] : 0;
+            if (av != bv)
+                return false;
+        }
+        return true;
+    }
+
+    /** Bucket of `value`: identity below 2^kSubBits, then kSubBits of
+     *  mantissa per octave. */
+    static size_t
+    bucketIndex(uint64_t value)
+    {
+        if (value < (uint64_t(1) << kSubBits))
+            return size_t(value);
+        const unsigned msb = unsigned(std::bit_width(value)) - 1;
+        const unsigned shift = msb - kSubBits;
+        const uint64_t sub =
+            (value >> shift) & ((uint64_t(1) << kSubBits) - 1);
+        return size_t(((uint64_t(shift) + 1) << kSubBits) + sub);
+    }
+
+    /** Smallest value mapping to bucket `idx` (what quantile reports). */
+    static uint64_t
+    bucketLowerBound(size_t idx)
+    {
+        if (idx < (size_t(1) << kSubBits))
+            return uint64_t(idx);
+        const uint64_t shift = (uint64_t(idx) >> kSubBits) - 1;
+        const uint64_t sub = uint64_t(idx) & ((uint64_t(1) << kSubBits) - 1);
+        return ((uint64_t(1) << kSubBits) + sub) << shift;
+    }
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace rayflex::obs
+
+#endif // RAYFLEX_OBS_HISTOGRAM_HH

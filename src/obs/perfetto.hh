@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto JSON export of an obs::TraceRecord
+ * stream.
+ *
+ * Emits the classic JSON trace format (`{"traceEvents": [...]}`) that
+ * both chrome://tracing and https://ui.perfetto.dev load directly:
+ *
+ *   * process 1 "rt units"  — one thread (track) per RT unit carrying
+ *     fetch / MSHR / packet instant events, plus per-unit counter
+ *     tracks for MSHR residency and packet occupancy;
+ *   * process 2 "timeline"  — batches as B/E slices on one track and
+ *     jobs (streaming runs) as B/E slices on per-job tracks;
+ *   * process 3 "shared L2" — one track per bank with enqueue/dequeue
+ *     instants and a queue-depth counter track per bank.
+ *
+ * Timestamps are simulated cycles written into the `ts` microsecond
+ * field (1 cycle = 1 "us" for viewing; the scale is arbitrary since
+ * the whole trace is on one clock). Events are sorted per track by
+ * timestamp with a stable tie-break on emission order, so the output
+ * is deterministic and per-track monotone — the two properties
+ * scripts/check_trace.py validates in CI.
+ */
+#ifndef RAYFLEX_OBS_PERFETTO_HH
+#define RAYFLEX_OBS_PERFETTO_HH
+
+#include <ostream>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace rayflex::obs
+{
+
+/** Write `events` as Chrome trace-event JSON to `os`. The record
+ *  vector is what a traced EngineReport / StreamReport carries; any
+ *  subset works (unknown producers simply contribute no tracks). */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceRecord> &events);
+
+} // namespace rayflex::obs
+
+#endif // RAYFLEX_OBS_PERFETTO_HH

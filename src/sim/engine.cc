@@ -127,6 +127,7 @@ Engine::executorConfig() const
     ec.dp = cfg_.dp;
     ec.chip = cfg_.chip;
     ec.max_cycles_per_batch = cfg_.max_cycles_per_batch;
+    ec.trace = cfg_.trace;
     return ec;
 }
 
@@ -218,6 +219,16 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
     std::vector<BatchResult> tallies(threads);
     std::vector<std::exception_ptr> errors(threads);
 
+    // Tracing keeps per-batch results in batch-index slots (disjoint
+    // writes, no synchronization) so the post-join concatenation can
+    // rebuild the sequential simulated timeline in batch order no
+    // matter which worker ran which batch.
+    const bool tracing =
+        cfg_.trace && cfg_.model == ExecutionModel::CycleAccurate;
+    std::vector<std::vector<obs::TraceRecord>> batch_traces(
+        tracing ? batches.size() : 0);
+    std::vector<uint64_t> batch_cycles(tracing ? batches.size() : 0);
+
     auto worker = [&](unsigned wid) {
         try {
             // Gather each claimed contiguous range into executor refs
@@ -237,6 +248,10 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
                     warm ? warm_mems_[wid].get() : nullptr);
                 tallies[wid].unit.merge(br.unit);
                 tallies[wid].traversal.merge(br.traversal);
+                if (tracing) {
+                    batch_traces[bi] = std::move(br.trace);
+                    batch_cycles[bi] = br.sim_cycles;
+                }
             }
         } catch (...) {
             errors[wid] = std::current_exception();
@@ -260,6 +275,28 @@ Engine::run(const bvh::Bvh4 &bvh, const std::vector<core::Ray> &rays,
         report.unit.merge(t.unit);
         report.traversal.merge(t.traversal);
     }
+
+    // Concatenate per-batch traces in batch order onto one sequential
+    // simulated timeline: batch k starts where batch k-1 ended. The
+    // decomposition into batches and each batch's evolution are both
+    // worker-independent, so the assembled trace is bit-identical at
+    // every worker count.
+    if (tracing) {
+        uint64_t offset = 0;
+        for (size_t bi = 0; bi < batches.size(); ++bi) {
+            report.trace.push_back({offset, 0, obs::TraceEvent::BatchStart,
+                                    uint64_t(bi),
+                                    uint64_t(batches[bi].size())});
+            for (obs::TraceRecord rec : batch_traces[bi]) {
+                rec.cycle += offset;
+                report.trace.push_back(rec);
+            }
+            offset += batch_cycles[bi];
+            report.trace.push_back({offset, 0, obs::TraceEvent::BatchEnd,
+                                    uint64_t(bi),
+                                    uint64_t(batches[bi].size())});
+        }
+    }
     return report;
 }
 
@@ -272,7 +309,12 @@ Engine::runKnn(const bvh::KnnIndex &index,
         throw std::invalid_argument(
             "Engine::runKnn: EngineConfig::dp must be an extended "
             "datapath config (e.g. core::kExtendedUnified)");
-    const BatchExecutor exec(index, executorConfig());
+    // KnnReport carries no trace (see EngineConfig::trace): drop the
+    // flag here rather than collect per-batch events only to discard
+    // them after the join.
+    ExecutorConfig ec = executorConfig();
+    ec.trace = false;
+    const BatchExecutor exec(index, ec);
 
     KnnReport report;
     report.results.resize(queries.size());

@@ -126,6 +126,18 @@ struct EngineConfig
     /** Simulation-cycle budget per batch before the run is declared
      *  hung (CycleAccurate model). */
     uint64_t max_cycles_per_batch = 100000000ull;
+
+    /** Collect a deterministic event trace (obs/trace.hh) into
+     *  EngineReport::trace: per-batch unit/L2 events rebased onto the
+     *  engine's sequential simulated timeline (batch k starts where
+     *  batch k-1 ended) and bracketed by BatchStart/BatchEnd. Off (the
+     *  default) costs nothing; on, every counter and hit record stays
+     *  bit-identical, and the trace itself is bit-identical at every
+     *  worker count (batch decomposition and per-batch evolution are
+     *  worker-independent; concatenation is in batch order).
+     *  CycleAccurate ray runs only — the Functional model has no clock
+     *  and runKnn() reports no trace. */
+    bool trace = false;
 };
 
 /** Aggregate result of an engine run. */
@@ -159,6 +171,11 @@ struct EngineReport
 
     size_t batches = 0;
     unsigned threads_used = 0;
+
+    /** Cycle-stamped events on the sequential simulated timeline
+     *  (EngineConfig::trace); empty with tracing off. Feed to
+     *  obs::writeChromeTrace for Perfetto/chrome://tracing. */
+    std::vector<obs::TraceRecord> trace;
 
     /** Host wall-clock for the sharded run (not part of the determinism
      *  contract). */

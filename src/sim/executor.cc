@@ -80,6 +80,16 @@ BatchExecutor::runChipBatch(const BatchRayRef *refs, size_t n,
         }
     }
 
+    // One sink per batch: the units tick lock-step on this thread, so
+    // emission order is deterministic (see BatchResult::trace).
+    obs::VectorTraceSink sink;
+    if (cfg_.trace) {
+        for (unsigned u = 0; u < units; ++u)
+            us[u]->attachTrace(&sink, u);
+        if (shared)
+            shared->setTraceSink(&sink);
+    }
+
     for (size_t k = 0; k < n; ++k)
         us[k % units]->submit(*refs[k].ray, uint32_t(k / units),
                               refs[k].job);
@@ -124,6 +134,7 @@ BatchExecutor::runChipBatch(const BatchRayRef *refs, size_t n,
 
     for (size_t k = 0; k < n; ++k)
         *refs[k].out = us[k % units]->results()[k / units];
+    res.trace = sink.take();
     return res;
 }
 
@@ -157,6 +168,14 @@ BatchExecutor::runChipKnnBatch(const KnnBatchRef *refs, size_t n) const
                 std::make_unique<bvh::SharedL2>(cfg_.chip.l2cfg));
             us[u]->attachSharedL2(priv[u].get(), 0);
         }
+    }
+
+    obs::VectorTraceSink sink;
+    if (cfg_.trace) {
+        for (unsigned u = 0; u < units; ++u)
+            us[u]->attachTrace(&sink, u);
+        if (shared)
+            shared->setTraceSink(&sink);
     }
 
     // Same round-robin as the ray path: query k goes to unit
@@ -204,6 +223,7 @@ BatchExecutor::runChipKnnBatch(const KnnBatchRef *refs, size_t n) const
 
     for (size_t k = 0; k < n; ++k)
         *refs[k].out = us[k % units]->knnResults()[k / units];
+    res.trace = sink.take();
     return res;
 }
 
@@ -222,12 +242,16 @@ BatchExecutor::executeKnnBatch(const KnnBatchRef *refs, size_t n) const
     if (cfg_.model == ExecutionModel::CycleAccurate) {
         core::RayFlexDatapath dp(cfg_.dp);
         bvh::RtUnit unit(*knn_index_, dp, cfg_.rt);
+        obs::VectorTraceSink sink;
+        if (cfg_.trace)
+            unit.attachTrace(&sink, 0);
         for (size_t k = 0; k < n; ++k)
             unit.submitKnn(*refs[k].query, uint32_t(k));
         res.unit = unit.run(cfg_.max_cycles_per_batch);
         res.sim_cycles = res.unit.cycles;
         for (size_t k = 0; k < n; ++k)
             *refs[k].out = unit.knnResults()[k];
+        res.trace = sink.take();
     } else {
         bvh::KnnTraversal trav(*knn_index_);
         for (size_t k = 0; k < n; ++k)
@@ -256,12 +280,16 @@ BatchExecutor::executeBatch(const BatchRayRef *refs, size_t n,
     if (cfg_.model == ExecutionModel::CycleAccurate) {
         core::RayFlexDatapath dp(cfg_.dp);
         bvh::RtUnit unit(bvh_, dp, rt_cfg, warm);
+        obs::VectorTraceSink sink;
+        if (cfg_.trace)
+            unit.attachTrace(&sink, 0);
         for (size_t k = 0; k < n; ++k)
             unit.submit(*refs[k].ray, uint32_t(k), refs[k].job);
         res.unit = unit.run(cfg_.max_cycles_per_batch);
         res.sim_cycles = res.unit.cycles;
         for (size_t k = 0; k < n; ++k)
             *refs[k].out = unit.results()[k];
+        res.trace = sink.take();
     } else {
         bvh::Traverser trav(bvh_);
         if (any_hit) {

@@ -128,6 +128,13 @@ struct BatchResult
      *  the Functional model. The scheduler tier's simulated timeline
      *  charges each batch exactly this. */
     uint64_t sim_cycles = 0;
+
+    /** Cycle-stamped events of this batch (ExecutorConfig::trace, on
+     *  the batch-local clock starting at 0); empty with tracing off or
+     *  under the Functional model. A chip batch's units share one sink
+     *  and tick lock-step on one thread, so the order is deterministic
+     *  and the engine's bit-identity contract extends to the trace. */
+    std::vector<obs::TraceRecord> trace;
 };
 
 /** Executor configuration: everything the simulation of one batch
@@ -150,6 +157,13 @@ struct ExecutorConfig
     /** Simulation-cycle budget per batch before the run is declared
      *  hung (CycleAccurate model). */
     uint64_t max_cycles_per_batch = 100000000ull;
+
+    /** Collect deterministic event traces (obs/trace.hh) into
+     *  BatchResult::trace. CycleAccurate only; off (the default) costs
+     *  nothing and leaves every counter bit-identical. Events from a
+     *  Private-L2 chip's banks are not collected (their per-unit bank
+     *  ids would alias on one track); the Shared L2 is. */
+    bool trace = false;
 };
 
 /**

@@ -20,11 +20,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cmath>
 #include <exception>
 #include <limits>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "obs/histogram.hh"
 
 namespace rayflex::sim
 {
@@ -123,42 +124,6 @@ BatchScheduler::plan(const std::vector<RenderJob> &jobs) const
 
 namespace
 {
-
-/** Nearest-rank percentile of unweighted samples. */
-uint64_t
-nearestRank(std::vector<uint64_t> v, double q)
-{
-    if (v.empty())
-        return 0;
-    std::sort(v.begin(), v.end());
-    size_t rank = size_t(std::ceil(q * double(v.size())));
-    rank = std::clamp<size_t>(rank, 1, v.size());
-    return v[rank - 1];
-}
-
-/** Nearest-rank percentile of (value, weight) samples. */
-uint64_t
-weightedNearestRank(std::vector<std::pair<uint64_t, uint64_t>> vw,
-                    double q)
-{
-    if (vw.empty())
-        return 0;
-    std::sort(vw.begin(), vw.end());
-    uint64_t total = 0;
-    for (const auto &[v, w] : vw)
-        total += w;
-    if (total == 0)
-        return 0;
-    const uint64_t target = std::clamp<uint64_t>(
-        uint64_t(std::ceil(q * double(total))), 1, total);
-    uint64_t cum = 0;
-    for (const auto &[v, w] : vw) {
-        cum += w;
-        if (cum >= target)
-            return v;
-    }
-    return vw.back().first;
-}
 
 /** One gathered batch in flight from the filler to a worker. */
 struct FilledBatch
@@ -334,11 +299,22 @@ StreamingService::finish(const bvh::Bvh4 &bvh)
         rep.traversal.merge(r.traversal);
     }
 
+    const bool tracing =
+        engine_.config().trace &&
+        engine_.config().model == ExecutionModel::CycleAccurate;
+    if (tracing)
+        for (size_t j = 0; j < jobs_.size(); ++j)
+            rep.trace.push_back({jobs_[j].arrival_tick, 0,
+                                 obs::TraceEvent::JobSubmit,
+                                 jobs_[j].id,
+                                 uint64_t(jobs_[j].rays.size())});
+
     // The simulated timeline: sequential-machine semantics. Batch bi
     // starts when the previous batch drained and its own contributors
-    // have all arrived.
-    std::vector<std::vector<std::pair<uint64_t, uint64_t>>> raylat(
-        jobs_.size());
+    // have all arrived. Each batch's executor trace (batch-local
+    // clock) is rebased to its timeline start here, so the stream
+    // trace shares the tick axis with every latency it reports.
+    std::vector<obs::Histogram> raylat(jobs_.size());
     std::vector<uint64_t> count(jobs_.size(), 0);
     std::vector<uint32_t> touched;
     std::vector<bool> first_seen(jobs_.size(), false);
@@ -348,6 +324,19 @@ StreamingService::finish(const bvh::Bvh4 &bvh)
         const uint64_t start = std::max(prev_end, b.ready_tick);
         const uint64_t end = start + results[bi].sim_cycles;
         prev_end = end;
+
+        if (tracing) {
+            rep.trace.push_back({start, 0, obs::TraceEvent::BatchStart,
+                                 uint64_t(bi),
+                                 uint64_t(b.rays.size())});
+            for (obs::TraceRecord rec : results[bi].trace) {
+                rec.cycle += start;
+                rep.trace.push_back(rec);
+            }
+            rep.trace.push_back({end, 0, obs::TraceEvent::BatchEnd,
+                                 uint64_t(bi),
+                                 uint64_t(b.rays.size())});
+        }
 
         touched.clear();
         for (const auto &[j, ri] : b.rays) {
@@ -365,32 +354,41 @@ StreamingService::finish(const bvh::Bvh4 &bvh)
             ++jr.batches;
             if (b.n_jobs > 1)
                 ++jr.shared_batches;
-            raylat[j].emplace_back(end - jr.arrival_tick, count[j]);
+            raylat[j].add(end - jr.arrival_tick, count[j]);
             count[j] = 0;
         }
     }
     rep.makespan_ticks = prev_end;
 
-    std::vector<uint64_t> job_lat;
+    // Job- and ray-level percentiles both read off obs::Histogram; the
+    // bucket-rounding contract is documented once, at
+    // JobReport::p50_ray_latency.
+    obs::Histogram job_lat;
     double x_sum = 0, x2_sum = 0;
     size_t x_n = 0;
     for (size_t j = 0; j < jobs_.size(); ++j) {
         JobReport &jr = rep.jobs[j];
         jr.latency = jr.completion_tick - jr.arrival_tick;
         jr.queue_wait = jr.first_service_tick - jr.arrival_tick;
-        jr.p50_ray_latency = weightedNearestRank(raylat[j], 0.50);
-        jr.p99_ray_latency = weightedNearestRank(raylat[j], 0.99);
+        jr.p50_ray_latency = raylat[j].quantile(0.50);
+        jr.p99_ray_latency = raylat[j].quantile(0.99);
+        jr.p999_ray_latency = raylat[j].quantile(0.999);
         if (!jr.hits.empty()) {
-            job_lat.push_back(jr.latency);
+            job_lat.add(jr.latency);
             const double x = double(jr.hits.size()) /
                              double(std::max<uint64_t>(jr.latency, 1));
             x_sum += x;
             x2_sum += x * x;
             ++x_n;
         }
+        if (tracing)
+            rep.trace.push_back({jr.completion_tick, 0,
+                                 obs::TraceEvent::JobComplete, jr.id,
+                                 jr.latency});
     }
-    rep.p50_job_latency = nearestRank(job_lat, 0.50);
-    rep.p99_job_latency = nearestRank(job_lat, 0.99);
+    rep.p50_job_latency = job_lat.quantile(0.50);
+    rep.p99_job_latency = job_lat.quantile(0.99);
+    rep.p999_job_latency = job_lat.quantile(0.999);
     rep.fairness = (x_n && x2_sum > 0)
                        ? (x_sum * x_sum) / (double(x_n) * x2_sum)
                        : 0.0;

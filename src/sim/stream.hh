@@ -245,9 +245,18 @@ struct JobReport
 
     /** Weighted nearest-rank percentiles of the job's PER-RAY
      *  latencies (each ray completes when its batch drains), so a job
-     *  spread over many batches reports its internal spread. */
+     *  spread over many batches reports its internal spread.
+     *
+     *  Bucket-rounding contract (shared by every percentile in this
+     *  file, job- and ray-level): percentiles are read from a mergeable
+     *  log-linear obs::Histogram and reported as the selected bucket's
+     *  lower bound — exact for latencies below 64 cycles, under 1.6%
+     *  relative error above (see obs/histogram.hh). The histogram is
+     *  what makes a p999 affordable and the quantiles mergeable across
+     *  batches without retaining every sample. */
     uint64_t p50_ray_latency = 0;
     uint64_t p99_ray_latency = 0;
+    uint64_t p999_ray_latency = 0;
 
     size_t batches = 0;        ///< batches containing this job's rays
     size_t shared_batches = 0; ///< of those, batches shared with other jobs
@@ -275,9 +284,21 @@ struct StreamReport
      *  were submitted). Ticks are absolute on the arrival timeline. */
     uint64_t makespan_ticks = 0;
 
-    /** Nearest-rank percentiles over the jobs' simulated latencies. */
+    /** Nearest-rank percentiles over the jobs' simulated latencies
+     *  (zero-ray jobs excluded). Bucket-rounded like the per-ray
+     *  percentiles — see JobReport::p50_ray_latency for the one
+     *  statement of that contract. */
     uint64_t p50_job_latency = 0;
     uint64_t p99_job_latency = 0;
+    uint64_t p999_job_latency = 0;
+
+    /** Cycle-stamped events on the service's simulated timeline
+     *  (EngineConfig::trace, CycleAccurate): JobSubmit at each arrival
+     *  tick, per-batch unit/L2 events rebased to the batch's timeline
+     *  start (start = max(previous end, ready tick)) and bracketed by
+     *  BatchStart/BatchEnd, then JobComplete at each completion tick.
+     *  Empty with tracing off; bit-identical at every worker count. */
+    std::vector<obs::TraceRecord> trace;
 
     /** Jain fairness index over per-job simulated throughput
      *  (rays / latency): 1 = every job got identical service, 1/n =
