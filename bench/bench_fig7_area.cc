@@ -7,6 +7,13 @@
  *
  * Prints the per-configuration area series and the headline ratio
  * summary quoted in Section VII-A.
+ *
+ * An optional argument names a JSON output file in the
+ * google-benchmark shape scripts/bench_compare.py consumes
+ * ({"benchmarks": [{"name", <counters>}]}), so CI can threshold-gate
+ * the area trajectory like every perf bench:
+ *
+ *     bench_fig7_area BENCH_area.json
  */
 #include <cstdio>
 
@@ -16,7 +23,7 @@ using namespace rayflex::synth;
 using namespace rayflex::core;
 
 int
-main()
+main(int argc, char **argv)
 {
     const AreaModel model;
     const DatapathConfig configs[] = {kBaselineUnified, kBaselineDisjoint,
@@ -28,6 +35,14 @@ main()
     printf("(um^2; categories as in the Genus area report)\n\n");
     printf("%-20s %7s %12s %12s %10s %10s %12s\n", "config", "MHz",
            "sequential", "logic", "buffer", "inverter", "total");
+    FILE *json = argc > 1 ? fopen(argv[1], "w") : nullptr;
+    if (argc > 1 && !json) {
+        fprintf(stderr, "cannot open %s for writing\n", argv[1]);
+        return 1;
+    }
+    if (json)
+        fprintf(json, "{\n  \"benchmarks\": [\n");
+    bool first = true;
     for (const auto &cfg : configs) {
         for (double mhz : freqs_mhz) {
             Netlist n = Netlist::build(cfg);
@@ -35,8 +50,22 @@ main()
             printf("%-20s %7.0f %12.0f %12.0f %10.0f %10.0f %12.0f\n",
                    cfg.name().c_str(), mhz, a.sequential, a.logic,
                    a.buffer, a.inverter, a.total());
+            if (json) {
+                fprintf(json,
+                        "%s    {\"name\": \"Fig7Area/%s/mhz:%.0f\", "
+                        "\"area_total_um2\": %.17g, "
+                        "\"area_sequential_um2\": %.17g, "
+                        "\"area_logic_um2\": %.17g}",
+                        first ? "" : ",\n", cfg.name().c_str(), mhz,
+                        a.total(), a.sequential, a.logic);
+                first = false;
+            }
         }
         printf("\n");
+    }
+    if (json) {
+        fprintf(json, "\n  ]\n}\n");
+        fclose(json);
     }
 
     // Headline ratios at the paper's 1 GHz report point.

@@ -7,6 +7,12 @@
  * testbench of 100 random test cases run through the *pipelined*
  * cycle-accurate model; the recorded activity trace (the VCD analogue)
  * drives the power model.
+ *
+ * An optional argument names a JSON output file in the
+ * google-benchmark shape scripts/bench_compare.py consumes, so CI can
+ * threshold-gate the power trajectory:
+ *
+ *     bench_fig8_power BENCH_power.json
  */
 #include <cstdio>
 
@@ -40,17 +46,27 @@ measure(const DatapathConfig &cfg, Opcode op)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const DatapathConfig configs[] = {kBaselineUnified, kBaselineDisjoint,
                                       kExtendedUnified,
                                       kExtendedDisjoint};
+    const char *op_names[] = {"ray_box", "ray_triangle", "euclidean",
+                              "cosine"};
 
     printf("=== Figure 8: power at full throughput, 1 GHz (mW) ===\n");
     printf("(stimulus: 100 random test cases per mode through the "
            "pipelined model)\n\n");
     printf("%-20s %10s %12s %11s %9s\n", "config", "ray-box",
            "ray-triangle", "euclidean", "cosine");
+    FILE *json = argc > 1 ? fopen(argv[1], "w") : nullptr;
+    if (argc > 1 && !json) {
+        fprintf(stderr, "cannot open %s for writing\n", argv[1]);
+        return 1;
+    }
+    if (json)
+        fprintf(json, "{\n  \"benchmarks\": [\n");
+    bool first = true;
     double p[4][4] = {};
     for (int c = 0; c < 4; ++c) {
         const DatapathConfig &cfg = configs[c];
@@ -67,8 +83,20 @@ main()
             p[c][o] = measure(cfg, op).total() * 1e3;
             printf(" %*.1f", o == 1 ? 12 : o == 2 ? 11 : o == 3 ? 9 : 10,
                    p[c][o]);
+            if (json) {
+                fprintf(json,
+                        "%s    {\"name\": \"Fig8Power/%s/%s\", "
+                        "\"power_total_mw\": %.17g}",
+                        first ? "" : ",\n", cfg.name().c_str(),
+                        op_names[o], p[c][o]);
+                first = false;
+            }
         }
         printf("\n");
+    }
+    if (json) {
+        fprintf(json, "\n  ]\n}\n");
+        fclose(json);
     }
 
     printf("\n=== Section VII-B headline comparisons ===\n");

@@ -15,6 +15,7 @@
  *
  * Usage: render_scene [width] [height] [scene] [out.ppm] [threads] [ao]
  *                     [cache] [packet] [issue] [chip] [stream] [trace]
+ *                     [cost]
  *   scene: sphere | torus | terrain | mixed (default mixed)
  *   threads: engine workers, 0 = all cores (default 0)
  *   ao: ambient-occlusion rays per hit pixel (default 0 = off)
@@ -62,6 +63,15 @@
  *          residency and per-bank L2 queue depth). A top-down
  *          issue-slot breakdown (obs::SlotAccounting) is printed
  *          alongside. Default off; hits and image are unaffected.
+ *   cost: 1 = after rendering, re-trace the primary batch on the
+ *          active probe configuration (the 4 KiB node cache plus
+ *          whatever [packet]/[issue]/[chip] knobs were given) and
+ *          price that chip through the component cost model
+ *          (synth::ChipCostModel): area in mm^2, power in W energized
+ *          by the run's own merged counters, and rays/kcycle/W — the
+ *          paper's cost/benefit question asked of the exact
+ *          configuration the other probes measure (default 0 = off;
+ *          hits and image are unaffected)
  *
  * Every cycle-accurate probe row reports the same base counter set -
  * cycles/ray, memory-stall slots/ray, memory requests/ray - printed by
@@ -78,6 +88,7 @@
 #include "bvh/scene.hh"
 #include "obs/perfetto.hh"
 #include "sim/passes.hh"
+#include "synth/chip_cost.hh"
 
 using namespace rayflex;
 using namespace rayflex::bvh;
@@ -123,6 +134,7 @@ main(int argc, char **argv)
     unsigned chip_probe = argc > 10 ? unsigned(atoi(argv[10])) : 0;
     bool stream_probe = argc > 11 && atoi(argv[11]) != 0;
     std::string trace_path = argc > 12 ? argv[12] : "";
+    bool cost_probe = argc > 13 && atoi(argv[13]) != 0;
     if (packet_probe > kMaxPacketWidth) {
         // The RT unit clamps internally; clamp here too so the probe
         // labels match the width that actually simulates.
@@ -249,7 +261,8 @@ main(int argc, char **argv)
     ncfg.rt.cache = kProbeCache4KiB;
     sim::EngineReport cached;
     if (cache_probe || packet_probe > 1 || issue_probe > 1 ||
-        chip_probe > 1 || stream_probe || !trace_path.empty()) {
+        chip_probe > 1 || stream_probe || !trace_path.empty() ||
+        cost_probe) {
         primary = RayGen::primaryRays(pcfg.camera, pcfg.t_max);
         cached = sim::Engine(ncfg).run(bvh, primary);
     }
@@ -503,6 +516,60 @@ main(int argc, char **argv)
             printf(" %s %.1f%%", obs::slotName(obs::Slot(s)),
                    slots > 0 ? 100.0 * double(sl.buckets[s]) / slots
                              : 0.0);
+        printf("\n");
+    }
+
+    if (cost_probe) {
+        // The cost probe: price the configuration the other probes
+        // measure. Starts from the shared node-cache config and layers
+        // on whatever packet/issue/chip knobs were given, re-traces
+        // the primary batch once on that exact config, and asks the
+        // component cost model what the chip it describes costs —
+        // area from the config alone, power energized by this very
+        // run's merged counters. Same rays, same hits.
+        sim::EngineConfig kcfg = ncfg;
+        if (packet_probe > 1) {
+            kcfg.rt.packet.width = packet_probe;
+            kcfg.rt.ray_buffer_entries *= packet_probe;
+        }
+        if (issue_probe > 1) {
+            kcfg.rt.issue_width = issue_probe;
+            kcfg.rt.mshrs = 8;
+        }
+        if (chip_probe > 1) {
+            kcfg.threads = 1;
+            kcfg.batch_size = 0;
+            kcfg.chip.units = chip_probe;
+            kcfg.chip.l2 = sim::L2Mode::Shared;
+            kcfg.chip.l2cfg = kProbeL2_128KiB;
+        }
+        sim::EngineReport rep = sim::Engine(kcfg).run(bvh, primary);
+        const double n = double(primary.size());
+        const uint64_t wall = rep.unit.chip_cycles ? rep.unit.chip_cycles
+                                                   : rep.unit.cycles;
+        const double kcycles = double(wall) / 1000.0;
+
+        const synth::ChipCostModel cost;
+        const synth::ChipAreaReport area = cost.area(kcfg, 1.0);
+        const synth::ChipPowerReport power =
+            cost.power(kcfg, rep.unit, 1.0);
+
+        printf("cost probe (primary batch, cycle-accurate, active "
+               "config at 1 GHz):\n");
+        probeRow("active config", rep.unit, n);
+        printf(", %.3f mm^2, %.3f W, %.0f rays/kcycle/W\n",
+               area.total_mm2(), power.total_w(),
+               kcycles > 0 && power.total_w() > 0
+                   ? n / kcycles / power.total_w()
+                   : 0.0);
+        printf("  components:");
+        for (size_t i = 0; i < power.components.size(); ++i) {
+            const synth::ComponentCost &c = power.components[i];
+            printf("%s %s %.3f mm^2 / %.1f mW",
+                   i ? "," : "", c.name.c_str(),
+                   area.components[i].area_um2 * 1e-6,
+                   (c.dynamic_w + c.leakage_w) * 1e3);
+        }
         printf("\n");
     }
     return 0;

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_design_space.json emitted by bench_design_space.
+
+Used by CI on the design-space sweep artifact, and handy locally: a
+schema drift or a broken dominance computation would otherwise ship a
+plausible-looking but wrong Pareto front.
+
+Checks, in order:
+
+  1. the file parses as JSON and carries the expected top-level shape:
+     {"workload": {...}, "clock_ghz": N, "dimensions": {...},
+      "points": [...]};
+  2. at least --min-dimensions knob dimensions are declared (the sweep
+     must actually be a multi-knob design space, default 3), and every
+     declared value of every dimension appears in at least one point —
+     a silently dropped grid row cannot pass;
+  3. every point carries every dimension key plus the metric keys
+     (rays_per_kcycle, area_mm2, power_w, perf_per_mm2, perf_per_watt,
+     pareto), with finite non-negative metrics;
+  4. the pareto flags are exactly the non-dominated set over
+     (rays_per_kcycle max, area_mm2 min, power_w min): no flagged
+     point is dominated by any other point, every unflagged point is
+     dominated by someone, and the front is non-empty.
+
+Usage:
+    check_pareto.py BENCH_design_space.json [--min-dimensions N]
+                                            [--min-points N]
+
+Exit status: 0 when every check passes, 1 otherwise (all violations
+are reported, not just the first).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+METRICS = (
+    "rays_per_kcycle",
+    "area_mm2",
+    "power_w",
+    "perf_per_mm2",
+    "perf_per_watt",
+)
+
+
+def dominates(a, b):
+    """a dominates b over (perf max, area min, power min)."""
+    if (
+        a["rays_per_kcycle"] < b["rays_per_kcycle"]
+        or a["area_mm2"] > b["area_mm2"]
+        or a["power_w"] > b["power_w"]
+    ):
+        return False
+    return (
+        a["rays_per_kcycle"] > b["rays_per_kcycle"]
+        or a["area_mm2"] < b["area_mm2"]
+        or a["power_w"] < b["power_w"]
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="BENCH_design_space.json file")
+    ap.add_argument(
+        "--min-dimensions",
+        type=int,
+        default=3,
+        metavar="N",
+        help="minimum swept knob dimensions (default 3)",
+    )
+    ap.add_argument(
+        "--min-points",
+        type=int,
+        default=2,
+        metavar="N",
+        help="minimum swept points (default 2)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.report) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {args.report}: {e}")
+        return 1
+
+    errors = []
+
+    if not isinstance(doc, dict):
+        print("FAIL: top level is not an object")
+        return 1
+    for key in ("workload", "clock_ghz", "dimensions", "points"):
+        if key not in doc:
+            errors.append(f"missing top-level key {key!r}")
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+
+    dims = doc["dimensions"]
+    points = doc["points"]
+    if not isinstance(dims, dict) or not isinstance(points, list):
+        print("FAIL: dimensions must be an object, points a list")
+        return 1
+
+    if len(dims) < args.min_dimensions:
+        errors.append(
+            f"only {len(dims)} dimension(s) "
+            f"(--min-dimensions {args.min_dimensions})"
+        )
+    if len(points) < args.min_points:
+        errors.append(
+            f"only {len(points)} point(s) (--min-points {args.min_points})"
+        )
+
+    # Per-point shape.
+    valid = []
+    for i, p in enumerate(points):
+        if not isinstance(p, dict):
+            errors.append(f"point {i}: not an object")
+            continue
+        bad = False
+        for d in dims:
+            if d not in p:
+                errors.append(f"point {i}: missing dimension {d!r}")
+                bad = True
+        for m in METRICS:
+            v = p.get(m)
+            if not isinstance(v, (int, float)) or not math.isfinite(v):
+                errors.append(f"point {i}: metric {m!r} is {v!r}")
+                bad = True
+            elif v < 0:
+                errors.append(f"point {i}: metric {m!r} is negative ({v})")
+                bad = True
+        if not isinstance(p.get("pareto"), bool):
+            errors.append(f"point {i}: 'pareto' is not a boolean")
+            bad = True
+        if not bad:
+            valid.append((i, p))
+
+    # Every declared dimension value must appear among the points.
+    for d, values in dims.items():
+        if not isinstance(values, list) or not values:
+            errors.append(f"dimension {d!r}: not a non-empty list")
+            continue
+        seen = {p.get(d) for _, p in valid}
+        for v in values:
+            if v not in seen:
+                errors.append(
+                    f"dimension {d!r}: declared value {v!r} appears in "
+                    "no point"
+                )
+
+    # The pareto flags must be exactly the non-dominated set.
+    flagged = [i for i, p in valid if p["pareto"]]
+    if valid and not flagged:
+        errors.append("pareto front is empty")
+    for i, p in valid:
+        dominators = [
+            j for j, q in valid if j != i and dominates(q, p)
+        ]
+        if p["pareto"] and dominators:
+            errors.append(
+                f"point {i} is flagged pareto but dominated by "
+                f"point(s) {dominators}"
+            )
+        if not p["pareto"] and not dominators:
+            errors.append(
+                f"point {i} is not flagged pareto but nothing "
+                "dominates it"
+            )
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        print(f"check_pareto: {len(errors)} violation(s) in {args.report}")
+        return 1
+    print(
+        f"check_pareto: OK — {len(points)} points over {len(dims)} "
+        f"dimensions, {len(flagged)}-point Pareto front"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

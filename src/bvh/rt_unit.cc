@@ -455,6 +455,7 @@ RtUnit::advanceKnn()
         if (offers_[l].entry != kNoOffer && in.valid && in.ready) {
             fired[l] = true;
             ++stats_.datapath_beats;
+            ++stats_.beats_by_op[size_t(in.bits.op)];
             ++stats_.knn.distance_beats;
             ++stats_.slots[obs::Slot::Issued];
         } else {
@@ -859,6 +860,7 @@ RtUnit::advancePacket()
         if (offers_[l].entry != kNoOffer && in.valid && in.ready) {
             fired[l] = true;
             ++stats_.datapath_beats;
+            ++stats_.beats_by_op[size_t(in.bits.op)];
             ++stats_.slots[obs::Slot::Issued];
         } else {
             ++stats_.datapath_idle;
@@ -1026,6 +1028,7 @@ RtUnit::advance(uint64_t cycle)
         if (offers_[l].entry != kNoOffer && in.valid && in.ready) {
             Entry &e = entries_[offers_[l].entry];
             ++stats_.datapath_beats;
+            ++stats_.beats_by_op[size_t(in.bits.op)];
             ++stats_.slots[obs::Slot::Issued];
             if (e.state == EntryState::ReadyBox) {
                 e.state = EntryState::InFlight;

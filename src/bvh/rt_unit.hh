@@ -25,6 +25,7 @@
 #ifndef RAYFLEX_BVH_RT_UNIT_HH
 #define RAYFLEX_BVH_RT_UNIT_HH
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -99,6 +100,13 @@ struct RtUnitStats
     uint64_t cycles = 0;
     uint64_t rays_completed = 0;
     uint64_t datapath_beats = 0;   ///< beats issued into the pipeline
+    /** datapath_beats broken down by opcode (the index is
+     *  core::Opcode). This is the dynamic-power stimulus for
+     *  synth::ChipCostModel: each issued beat energizes exactly the
+     *  functional units and route legs its opcode uses, so
+     *  sum(beats_by_op) == datapath_beats == slots[Issued] on every
+     *  run and across merge(). */
+    std::array<uint64_t, core::kNumOpcodes> beats_by_op{};
     /** Issue slots (lanes x cycles) with no beat issued. At
      *  issue_width == 1 this is exactly the legacy cycles-with-no-beat
      *  counter; wider units can lose several slots per cycle. */
@@ -173,6 +181,8 @@ struct RtUnitStats
         cycles += o.cycles;
         rays_completed += o.rays_completed;
         datapath_beats += o.datapath_beats;
+        for (size_t op = 0; op < beats_by_op.size(); ++op)
+            beats_by_op[op] += o.beats_by_op[op];
         datapath_idle += o.datapath_idle;
         mem_requests += o.mem_requests;
         stall_on_memory += o.stall_on_memory;

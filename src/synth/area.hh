@@ -1,6 +1,7 @@
 /**
  * @file
- * Area model: the Fig. 7 experiment.
+ * Datapath area model: the Fig. 7 experiment, and the logic component
+ * of the chip-level cost model.
  *
  * Decomposes circuit area into the four categories of the Genus report
  * the paper uses - sequential, inverter, buffer and logic - as a
@@ -8,6 +9,14 @@
  * only mild sensitivity to the clock target in the paper's 500-1500 MHz
  * range; the model reflects that with a small upsizing slope on
  * combinational area and a buffer fraction that grows with frequency.
+ *
+ * Scope: this estimator prices ONE synthesized pipeline instance — the
+ * paper's highlighted datapath box — and nothing else. The rest of the
+ * chip (issue-width lane replicas, NodeCache arrays, the MSHR file,
+ * packet stacks, the banked SharedL2) is costed component-by-component
+ * in synth/chip_cost.hh, which replicates this estimate per lane and
+ * prices the storage structures through the SRAM macro seam in
+ * synth/sram.hh rather than as synthesized flops.
  */
 #ifndef RAYFLEX_SYNTH_AREA_HH
 #define RAYFLEX_SYNTH_AREA_HH

@@ -66,6 +66,30 @@ struct EnergyLibrary
     double rounding_frac_multiplier = 0.08;
 };
 
+/**
+ * SRAM macro costs: the memory-structure counterpart of the logic
+ * tables above. The chip cost model (synth/chip_cost.hh) sizes every
+ * storage structure the performance model grew — NodeCache data+tag
+ * arrays, the MSHR file, packet stacks/divergence masks, the banked
+ * SharedL2 — in bits and prices them through this table (see
+ * synth/sram.hh for the bits → area/leakage/energy functions). A
+ * zero-bit macro costs exactly zero everywhere.
+ *
+ * Calibration: 6T bitcell density of a 15 nm-class compiler macro
+ * (~0.3 um^2/bit with array overhead), periphery (decoders, sense
+ * amps, write drivers) as an area fraction, leakage density below
+ * logic (SRAM arrays are leakage-optimized), and access energy split
+ * into a fixed decode/sense term plus a per-accessed-bit term.
+ */
+struct SramLibrary
+{
+    double area_per_bit = 0.325;      ///< um^2 per data/tag bit
+    double periphery_frac = 0.20;     ///< decoder/sense-amp area fraction
+    double leakage_per_um2 = 0.40e-8; ///< W per um^2 of macro area
+    double access_base_pj = 0.35;     ///< fixed decode+sense per access
+    double read_pj_per_bit = 0.0008;  ///< per bit of the accessed row
+};
+
 /** Technology-level scaling behaviour. */
 struct TechLibrary
 {
@@ -95,6 +119,7 @@ struct CellLibrary
 {
     AreaLibrary area;
     EnergyLibrary energy;
+    SramLibrary sram;
     TechLibrary tech;
 
     /** The default 15 nm-class library used by all experiments. */

@@ -9,22 +9,17 @@
 namespace rayflex::synth
 {
 
-PowerReport
-PowerModel::estimate(const Netlist &n, const core::ActivityTrace &trace,
-                     double clock_ghz) const
+BeatEnergyPj
+datapathBeatEnergyPj(const Netlist &n,
+                     const std::array<uint64_t, kNumOpcodes> &beats,
+                     const EnergyLibrary &e)
 {
-    const EnergyLibrary &e = lib_.energy;
-    const TechLibrary &t = lib_.tech;
-
-    if (trace.cycles == 0)
-        return {};
-
     // Energy per beat of each op: active functional units only (the
     // rest are zero-gated).
-    double fu_pj = 0, route_pj = 0;
+    BeatEnergyPj r;
     for (size_t o = 0; o < kNumOpcodes; ++o) {
-        const double beats = double(trace.beats[o]);
-        if (beats == 0)
+        const double b = double(beats[o]);
+        if (b == 0)
             continue;
         FuCounts u = n.usedBy(static_cast<Opcode>(o));
         double e_add = e.adder, e_mul = e.multiplier, e_sq = e.squarer;
@@ -39,11 +34,26 @@ PowerModel::estimate(const Netlist &n, const core::ActivityTrace &trace,
                           u.comparators * e.comparator +
                           u.sort_cmps * e.comparator +
                           u.converters * e.converter;
-        fu_pj += beats * per_beat;
-        route_pj += beats *
-                    n.routeLegsUsedBy(static_cast<Opcode>(o)) *
-                    e.route_leg;
+        r.fu_pj += b * per_beat;
+        r.route_pj += b *
+                      n.routeLegsUsedBy(static_cast<Opcode>(o)) *
+                      e.route_leg;
     }
+    return r;
+}
+
+PowerReport
+PowerModel::estimate(const Netlist &n, const core::ActivityTrace &trace,
+                     double clock_ghz) const
+{
+    const EnergyLibrary &e = lib_.energy;
+    const TechLibrary &t = lib_.tech;
+
+    if (trace.cycles == 0)
+        return {};
+
+    const BeatEnergyPj beat = datapathBeatEnergyPj(n, trace.beats, e);
+    const double fu_pj = beat.fu_pj, route_pj = beat.route_pj;
 
     // Registers clock every cycle; the SRFDS registers are rewritten on
     // every beat irrespective of operation.

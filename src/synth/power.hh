@@ -1,23 +1,37 @@
 /**
  * @file
- * Power model: the Fig. 8 / Fig. 9 experiments.
+ * Datapath power model: the Fig. 8 / Fig. 9 experiments, and the
+ * per-beat energy kernel of the chip-level component model.
  *
- * Dynamic power is activity-based: the stimulus is an ActivityTrace
- * captured from the cycle simulator (the model analogue of the VCD files
- * the paper records from its testbenches). Per beat of an operation,
- * exactly the functional units that operation uses toggle - RayFlex
- * zero-gates the inputs of every other unit, so their dynamic power is
- * negligible (Section VII-B). Register power is operation-independent:
- * the SRFDS stage registers clock and are rewritten on every beat
- * regardless of which fields hold valid data, which is why adding
- * operations raises box/triangle power even though those ops use none
- * of the new hardware.
+ * Dynamic power is activity-based. Per beat of an operation, exactly
+ * the functional units that operation uses toggle — RayFlex zero-gates
+ * the inputs of every other unit, so their dynamic power is negligible
+ * (Section VII-B). Register power is operation-independent: the SRFDS
+ * stage registers clock and are rewritten on every beat regardless of
+ * which fields hold valid data, which is why adding operations raises
+ * box/triangle power even though those ops use none of the new
+ * hardware. Static power scales with area and sits an order of
+ * magnitude below dynamic power at 1 GHz for this technology.
  *
- * Static power scales with area and sits an order of magnitude below
- * dynamic power at 1 GHz for this technology.
+ * Two stimuli drive the same energy arithmetic:
+ *  - PowerModel::estimate keeps the paper's bench-level interface: a
+ *    core::ActivityTrace captured from a bare datapath (the model
+ *    analogue of the paper's VCD files) prices ONE pipeline instance.
+ *  - datapathBeatEnergyPj() exposes the per-opcode beat-energy loop as
+ *    a standalone function over any beats-per-opcode array, so
+ *    synth::ChipCostModel (synth/chip_cost.hh) can drive the identical
+ *    arithmetic from the real simulator's bvh::RtUnitStats::beats_by_op
+ *    counters — the datapath component of a chip report and the legacy
+ *    single-datapath estimate agree bit-for-bit by construction.
+ *
+ * This model prices logic and registers only; SRAM-backed structures
+ * (caches, MSHRs, packet stacks) are priced by the SRAM macro seam in
+ * synth/sram.hh and composed in synth/chip_cost.hh.
  */
 #ifndef RAYFLEX_SYNTH_POWER_HH
 #define RAYFLEX_SYNTH_POWER_HH
+
+#include <array>
 
 #include "core/datapath.hh"
 #include "synth/area.hh"
@@ -26,6 +40,26 @@
 
 namespace rayflex::synth
 {
+
+/** Datapath switching energy of a run, in picojoules, before the
+ *  frequency/derate scaling that turns it into watts. */
+struct BeatEnergyPj
+{
+    double fu_pj = 0;    ///< functional-unit switching
+    double route_pj = 0; ///< operand steering and gating legs
+};
+
+/**
+ * The shared per-opcode beat-energy kernel: energy switched by
+ * `beats[op]` beats of each opcode through netlist `n`. Zero-gated
+ * opcodes (zero beats) contribute exactly nothing. Both
+ * PowerModel::estimate (ActivityTrace stimulus) and ChipCostModel
+ * (RtUnitStats::beats_by_op stimulus) call this one function, which is
+ * what makes their datapath terms bit-for-bit identical.
+ */
+BeatEnergyPj datapathBeatEnergyPj(
+    const Netlist &n, const std::array<uint64_t, kNumOpcodes> &beats,
+    const EnergyLibrary &e);
 
 /** Power estimate in watts, decomposed by source. */
 struct PowerReport

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SRAM macro model: bits -> area, leakage and access energy.
+ *
+ * The paper's synthesis flow covers only the intersection datapath;
+ * every storage structure the performance model added since (NodeCache
+ * arrays, the MSHR file, packet stacks, the banked SharedL2) would be
+ * compiler-generated SRAM macros on a real chip, not synthesized
+ * flops. This header is that seam: a macro is fully described by its
+ * bit count, and three pure functions turn bits into um^2, watts of
+ * leakage and pJ per access using the SramLibrary constants
+ * (synth/cells.hh). The chip cost model (synth/chip_cost.hh) is the
+ * only intended caller, but the functions are free so tests can pin
+ * them directly.
+ *
+ * Contract: a zero-bit macro costs exactly 0.0 in every function —
+ * structures a configuration does not instantiate (mshrs == 0, packet
+ * width 1, L2 off) must not leak phantom area or energy into a report.
+ */
+#ifndef RAYFLEX_SYNTH_SRAM_HH
+#define RAYFLEX_SYNTH_SRAM_HH
+
+#include <cstdint>
+
+#include "synth/cells.hh"
+
+namespace rayflex::synth
+{
+
+/** Macro area in um^2: bitcell array plus periphery overhead. */
+inline double
+sramAreaUm2(uint64_t bits, const SramLibrary &s)
+{
+    if (bits == 0)
+        return 0.0;
+    return double(bits) * s.area_per_bit * (1.0 + s.periphery_frac);
+}
+
+/** Macro leakage in watts (area-proportional; zero bits leak 0.0). */
+inline double
+sramLeakageW(uint64_t bits, const SramLibrary &s)
+{
+    if (bits == 0)
+        return 0.0;
+    return sramAreaUm2(bits, s) * s.leakage_per_um2;
+}
+
+/** Energy of ONE access that reads/writes `accessed_bits` of the
+ *  macro, in pJ: a fixed decode/sense term plus a per-bit term. A
+ *  macro that is never accessed contributes no dynamic energy (the
+ *  caller multiplies by an access count); a zero-bit macro costs 0.0
+ *  even for the fixed term. */
+inline double
+sramAccessPj(uint64_t macro_bits, uint64_t accessed_bits,
+             const SramLibrary &s)
+{
+    if (macro_bits == 0)
+        return 0.0;
+    return s.access_base_pj + double(accessed_bits) * s.read_pj_per_bit;
+}
+
+} // namespace rayflex::synth
+
+#endif // RAYFLEX_SYNTH_SRAM_HH

@@ -1,16 +1,26 @@
 /**
  * @file
  * Tests of the synthesis model: netlist structural invariants, the
- * Fig. 4c / Fig. 6c asset tables, dead-node-elimination liveness, and
- * the headline area/power relationships of the paper's evaluation
+ * Fig. 4c / Fig. 6c asset tables, dead-node-elimination liveness, the
+ * headline area/power relationships of the paper's evaluation
  * (checked as tolerance bands so the reproduction's shape is enforced
- * by CI).
+ * by CI), and the chip-level component cost model
+ * (synth/chip_cost.hh): knobs-off bit-for-bit compatibility with the
+ * legacy Fig. 7/8 numbers, component monotonicity and zero-cost
+ * gating, activity conservation against obs::SlotAccounting, and
+ * worker-count purity.
  */
 #include <gtest/gtest.h>
 
+#include "bvh/scene.hh"
+#include "core/raygen.hh"
+#include "core/workloads.hh"
+#include "sim/engine.hh"
 #include "synth/area.hh"
+#include "synth/chip_cost.hh"
 #include "synth/netlist.hh"
 #include "synth/power.hh"
+#include "synth/sram.hh"
 
 using namespace rayflex::synth;
 using namespace rayflex::core;
@@ -361,4 +371,337 @@ TEST(PowerModel, StaticPowerIsOrderOfMagnitudeBelowDynamic)
     double dynamic = p.fu_dynamic + p.reg_dynamic + p.route_dynamic;
     EXPECT_LT(p.static_power, dynamic / 5.0);
     EXPECT_GT(p.static_power, dynamic / 50.0);
+}
+
+// ----- the chip-level component cost model (synth/chip_cost.hh) -----
+
+namespace
+{
+
+/** A tiny scene + primary batch for the cost-model engine runs. */
+const rayflex::bvh::Bvh4 &
+costScene()
+{
+    static rayflex::bvh::Bvh4 bvh = [] {
+        auto tris = rayflex::bvh::makeTerrain(10.0f, 16, 0.5f, 7);
+        return rayflex::bvh::buildBvh4(std::move(tris));
+    }();
+    return bvh;
+}
+
+std::vector<Ray>
+costRays(unsigned side = 12)
+{
+    const auto &bvh = costScene();
+    rayflex::bvh::Camera cam;
+    auto c = bvh.root_bounds.centre();
+    auto ext = bvh.root_bounds.hi - bvh.root_bounds.lo;
+    cam.look_at = c;
+    cam.eye = c + rayflex::bvh::Vec3{0.4f * ext.x, 0.6f * ext.y,
+                                     1.2f * ext.z};
+    cam.width = side;
+    cam.height = side;
+    std::vector<Ray> rays;
+    for (unsigned y = 0; y < side; ++y)
+        for (unsigned x = 0; x < side; ++x)
+            rays.push_back(cam.primaryRay(x, y, 1000.0f));
+    return rays;
+}
+
+/** A knob-on config exercising every costed component. */
+rayflex::sim::EngineConfig
+knobsOnConfig()
+{
+    rayflex::sim::EngineConfig cfg;
+    cfg.threads = 1;
+    cfg.batch_size = 0;
+    cfg.rt.mem_backend = rayflex::bvh::MemBackend::NodeCache;
+    cfg.rt.cache = rayflex::bvh::kProbeCache4KiB;
+    cfg.rt.packet.width = 4;
+    cfg.rt.ray_buffer_entries = 128;
+    cfg.rt.issue_width = 2;
+    cfg.rt.mshrs = 8;
+    cfg.chip.units = 2;
+    cfg.chip.l2 = rayflex::sim::L2Mode::Shared;
+    cfg.chip.l2cfg = rayflex::bvh::kProbeL2_128KiB;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ChipCost, KnobsOffAreaReproducesFig7BitForBit)
+{
+    // The knobs-off ChipCostModel must reproduce every number of the
+    // bench_fig7_area table EXACTLY: same configs, same frequencies,
+    // compared with EXPECT_EQ on doubles (bit-for-bit, not a band).
+    const ChipCostModel cost;
+    const AreaModel legacy;
+    for (const auto &dp : {kBaselineUnified, kBaselineDisjoint,
+                           kExtendedUnified, kExtendedDisjoint}) {
+        for (double mhz : {500.0, 700.0, 900.0, 1000.0, 1100.0, 1300.0,
+                           1500.0}) {
+            rayflex::sim::EngineConfig cfg;
+            cfg.dp = dp;
+            const ChipAreaReport chip = cost.area(cfg, mhz / 1000.0);
+            const AreaReport ref =
+                legacy.estimate(Netlist::build(dp), mhz / 1000.0);
+            ASSERT_EQ(chip.components.size(), 1u)
+                << "knobs-off must cost exactly the datapath";
+            EXPECT_EQ(chip.components[0].name, "datapath");
+            EXPECT_EQ(chip.total_um2(), ref.total())
+                << dp.name() << " @ " << mhz;
+            EXPECT_EQ(chip.lane.sequential, ref.sequential);
+            EXPECT_EQ(chip.lane.logic, ref.logic);
+            EXPECT_EQ(chip.lane.buffer, ref.buffer);
+            EXPECT_EQ(chip.lane.inverter, ref.inverter);
+        }
+    }
+}
+
+TEST(ChipCost, KnobsOffPowerReproducesFig8BitForBit)
+{
+    // Replicate bench_fig8_power's measure() stimulus (100 random
+    // cases per mode through the pipelined model, full-throughput
+    // accounting) and require the ChipCostModel's datapath component,
+    // driven by the equivalent RtUnitStats, to reproduce the legacy
+    // PowerModel report EXACTLY — every decomposed term and the total.
+    const ChipCostModel cost;
+    const PowerModel legacy;
+    for (const auto &dp : {kBaselineUnified, kBaselineDisjoint,
+                           kExtendedUnified, kExtendedDisjoint}) {
+        for (size_t o = 0; o < kNumOpcodes; ++o) {
+            const Opcode op = static_cast<Opcode>(o);
+            if (!dp.extended &&
+                (op == Opcode::Euclidean || op == Opcode::Cosine))
+                continue;
+            RayFlexDatapath pipe(dp);
+            WorkloadGen gen(0xF18u ^ unsigned(op));
+            auto stimulus = gen.batch(op, 100);
+            pipe.resetActivity();
+            runBatch(pipe, stimulus);
+            ActivityTrace trace = pipe.activity();
+            trace.cycles = trace.totalBeats();
+
+            const PowerReport ref =
+                legacy.estimate(Netlist::build(dp), trace, 1.0);
+
+            rayflex::sim::EngineConfig cfg;
+            cfg.dp = dp;
+            rayflex::bvh::RtUnitStats stats;
+            stats.cycles = trace.cycles;
+            stats.beats_by_op = trace.beats;
+            stats.datapath_beats = trace.totalBeats();
+            const ChipPowerReport chip = cost.power(cfg, stats, 1.0);
+
+            EXPECT_EQ(chip.datapath.fu_dynamic, ref.fu_dynamic)
+                << dp.name() << " " << opcodeName(op);
+            EXPECT_EQ(chip.datapath.reg_dynamic, ref.reg_dynamic);
+            EXPECT_EQ(chip.datapath.route_dynamic, ref.route_dynamic);
+            EXPECT_EQ(chip.datapath.static_power, ref.static_power);
+            EXPECT_EQ(chip.total_w(), ref.total());
+        }
+    }
+}
+
+TEST(ChipCost, AreaAndLeakageMonotoneInEveryKnob)
+{
+    const ChipCostModel cost;
+    const rayflex::bvh::RtUnitStats idle; // leakage only
+    auto area = [&](const rayflex::sim::EngineConfig &c) {
+        return cost.area(c, 1.0).total_um2();
+    };
+    auto leak = [&](const rayflex::sim::EngineConfig &c) {
+        return cost.power(c, idle, 1.0).leakage_w();
+    };
+
+    // issue_width: each extra lane replicates the datapath.
+    rayflex::sim::EngineConfig cfg;
+    double prev_a = 0, prev_l = 0;
+    for (unsigned iw : {1u, 2u, 4u, 8u}) {
+        cfg.rt.issue_width = iw;
+        EXPECT_GT(area(cfg), prev_a) << "issue " << iw;
+        EXPECT_GT(leak(cfg), prev_l) << "issue " << iw;
+        prev_a = area(cfg);
+        prev_l = leak(cfg);
+    }
+
+    // mshrs: a bigger file is a bigger CAM.
+    cfg = {};
+    prev_a = area(cfg);
+    prev_l = leak(cfg);
+    for (unsigned ms : {4u, 8u, 16u}) {
+        cfg.rt.mshrs = ms;
+        EXPECT_GT(area(cfg), prev_a) << "mshrs " << ms;
+        EXPECT_GT(leak(cfg), prev_l) << "mshrs " << ms;
+        prev_a = area(cfg);
+        prev_l = leak(cfg);
+    }
+
+    // cache bytes: growing sets grows the data and tag arrays.
+    cfg = {};
+    cfg.rt.mem_backend = rayflex::bvh::MemBackend::NodeCache;
+    cfg.rt.cache = rayflex::bvh::kProbeCache4KiB;
+    prev_a = 0;
+    prev_l = 0;
+    for (uint32_t sets : {16u, 64u, 256u}) {
+        cfg.rt.cache.sets = sets;
+        EXPECT_GT(area(cfg), prev_a) << "sets " << sets;
+        EXPECT_GT(leak(cfg), prev_l) << "sets " << sets;
+        prev_a = area(cfg);
+        prev_l = leak(cfg);
+    }
+
+    // L2 banks: each bank carries its own sets*ways array.
+    cfg = {};
+    cfg.chip.l2 = rayflex::sim::L2Mode::Shared;
+    cfg.chip.l2cfg = rayflex::bvh::kProbeL2_128KiB;
+    prev_a = 0;
+    prev_l = 0;
+    for (uint32_t banks : {2u, 4u, 8u}) {
+        cfg.chip.l2cfg.banks = banks;
+        EXPECT_GT(area(cfg), prev_a) << "banks " << banks;
+        EXPECT_GT(leak(cfg), prev_l) << "banks " << banks;
+        prev_a = area(cfg);
+        prev_l = leak(cfg);
+    }
+}
+
+TEST(ChipCost, ZeroSizedStructuresCostExactlyZero)
+{
+    const auto &sram = CellLibrary::nangate15().sram;
+    EXPECT_EQ(sramAreaUm2(0, sram), 0.0);
+    EXPECT_EQ(sramLeakageW(0, sram), 0.0);
+    EXPECT_EQ(sramAccessPj(0, 0, sram), 0.0);
+    EXPECT_EQ(mshrFileBits(0), 0u);
+    rayflex::bvh::RtUnitConfig rt;
+    rt.packet.width = 1;
+    EXPECT_EQ(packetStateBits(rt), 0u);
+
+    // Un-instantiated structures leave no component in the report:
+    // knobs-off means exactly one (the datapath), so nothing leaks
+    // phantom area or leakage.
+    const ChipCostModel cost;
+    rayflex::sim::EngineConfig cfg;
+    EXPECT_EQ(cost.area(cfg, 1.0).components.size(), 1u);
+    EXPECT_EQ(cost.power(cfg, {}, 1.0).components.size(), 1u);
+
+    // A zero-capacity cache costs tag bits only when lines exist; a
+    // cache with zero sets has no lines and no bits at all.
+    rayflex::bvh::NodeCacheConfig c;
+    c.sets = 0;
+    EXPECT_EQ(nodeCacheBits(c), 0u);
+}
+
+TEST(ChipCost, IdleComponentsDrawLeakageOnly)
+{
+    // Zero-activity stats: every component reports 0.0 dynamic watts
+    // (not merely small), leakage untouched.
+    const ChipCostModel cost;
+    const auto cfg = knobsOnConfig();
+    const ChipPowerReport p = cost.power(cfg, {}, 1.0);
+    ASSERT_EQ(p.components.size(), 5u);
+    for (const auto &c : p.components) {
+        EXPECT_EQ(c.dynamic_w, 0.0) << c.name;
+        EXPECT_GT(c.leakage_w, 0.0) << c.name;
+    }
+    EXPECT_EQ(p.dynamic_w(), 0.0);
+    EXPECT_GT(p.leakage_w(), 0.0);
+}
+
+TEST(ChipCost, BeatAttributionConservesAgainstSlotAccounting)
+{
+    // The dynamic-power stimulus must conserve: every issued slot is
+    // one energized datapath beat of exactly one opcode, across the
+    // knob grid (scalar / packet / multi-issue+MSHR / chip).
+    const auto &bvh = costScene();
+    const auto rays = costRays();
+    std::vector<rayflex::sim::EngineConfig> grid;
+    grid.emplace_back(); // scalar defaults
+    {
+        rayflex::sim::EngineConfig c;
+        c.rt.packet.width = 8;
+        c.rt.ray_buffer_entries = 256;
+        grid.push_back(c);
+    }
+    {
+        rayflex::sim::EngineConfig c;
+        c.rt.issue_width = 4;
+        c.rt.mshrs = 8;
+        c.rt.mem_backend = rayflex::bvh::MemBackend::NodeCache;
+        c.rt.cache = rayflex::bvh::kProbeCache4KiB;
+        grid.push_back(c);
+    }
+    grid.push_back(knobsOnConfig());
+
+    for (size_t i = 0; i < grid.size(); ++i) {
+        auto rep = rayflex::sim::Engine(grid[i]).run(bvh, rays);
+        const auto &u = rep.unit;
+        uint64_t by_op = 0;
+        for (uint64_t b : u.beats_by_op)
+            by_op += b;
+        EXPECT_EQ(by_op, u.datapath_beats) << "grid config " << i;
+        EXPECT_EQ(by_op, u.slots[rayflex::obs::Slot::Issued])
+            << "grid config " << i;
+        EXPECT_GT(by_op, 0u) << "grid config " << i;
+    }
+}
+
+TEST(ChipCost, ReportsIdenticalAtEveryWorkerCount)
+{
+    // Purity: cost reports are functions of (config, merged stats),
+    // and merged stats are bit-identical at every worker count — so
+    // the reports must be too, compared field-by-field with EXPECT_EQ.
+    const auto &bvh = costScene();
+    const auto rays = costRays();
+    const ChipCostModel cost;
+
+    auto cfg = knobsOnConfig();
+    cfg.batch_size = 32; // several batches, so sharding matters
+    cfg.threads = 1;
+    const auto ref = rayflex::sim::Engine(cfg).run(bvh, rays);
+    const ChipPowerReport refp = cost.power(cfg, ref.unit, 1.0);
+    ASSERT_EQ(refp.components.size(), 5u);
+
+    for (unsigned threads : {2u, 8u}) {
+        auto c = cfg;
+        c.threads = threads;
+        const auto rep = rayflex::sim::Engine(c).run(bvh, rays);
+        EXPECT_EQ(rep.unit, ref.unit) << threads << " workers";
+        const ChipPowerReport p = cost.power(c, rep.unit, 1.0);
+        ASSERT_EQ(p.components.size(), refp.components.size());
+        for (size_t i = 0; i < p.components.size(); ++i) {
+            EXPECT_EQ(p.components[i].name, refp.components[i].name);
+            EXPECT_EQ(p.components[i].area_um2,
+                      refp.components[i].area_um2);
+            EXPECT_EQ(p.components[i].dynamic_w,
+                      refp.components[i].dynamic_w);
+            EXPECT_EQ(p.components[i].leakage_w,
+                      refp.components[i].leakage_w);
+        }
+        EXPECT_EQ(p.total_w(), refp.total_w());
+    }
+}
+
+TEST(ChipCost, ActiveRunChargesEveryInstantiatedComponent)
+{
+    // A real knobs-on run touches every structure: each component's
+    // dynamic power is strictly positive and the decomposed datapath
+    // terms agree with the component entry.
+    const auto &bvh = costScene();
+    const auto rays = costRays();
+    const ChipCostModel cost;
+    const auto cfg = knobsOnConfig();
+    const auto rep = rayflex::sim::Engine(cfg).run(bvh, rays);
+    const ChipPowerReport p = cost.power(cfg, rep.unit, 1.0);
+    ASSERT_EQ(p.components.size(), 5u);
+    for (const auto &c : p.components) {
+        EXPECT_GT(c.dynamic_w, 0.0) << c.name;
+        EXPECT_GT(c.leakage_w, 0.0) << c.name;
+    }
+    EXPECT_EQ(p.components[0].dynamic_w,
+              p.datapath.fu_dynamic + p.datapath.reg_dynamic +
+                  p.datapath.route_dynamic);
+    // The SRAM components exist but stay far below the datapath on
+    // this workload.
+    EXPECT_GT(p.components[0].dynamic_w, p.components[1].dynamic_w);
 }
